@@ -1,0 +1,71 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Stream-order sensitivity, FENNEL's gamma, HDRF's lambda, Ginger's degree
+threshold, restreaming depth, and the Appendix-B sender-side-aggregation
+saving.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import (
+    ablation_dynamic_updates,
+    ablation_fennel_gamma,
+    ablation_ginger_threshold,
+    ablation_hdrf_lambda,
+    ablation_partitioning_cost,
+    ablation_restreaming,
+    ablation_sender_side_aggregation,
+    ablation_straggler,
+    ablation_stream_order,
+)
+
+
+def test_ablation_stream_order(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_stream_order, report_sink)
+    assert report.data["results"]["bfs"]["hdrf"][1] < 1.5
+
+
+def test_ablation_fennel_gamma(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_fennel_gamma, report_sink)
+    assert len(report.data["results"]) == 4
+
+
+def test_ablation_hdrf_lambda(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_hdrf_lambda, report_sink)
+    assert len(report.data["results"]) == 5
+
+
+def test_ablation_ginger_threshold(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_ginger_threshold, report_sink)
+    assert len(report.data["results"]) == 5
+
+
+def test_ablation_restreaming(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_restreaming, report_sink)
+    results = report.data["results"]
+    assert results[10] <= results[1]
+
+
+def test_ablation_sender_side_aggregation(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_sender_side_aggregation,
+                            report_sink)
+    assert report.data["results"]["ecr"][2] == 1.0
+
+
+def test_ablation_dynamic_updates(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_dynamic_updates, report_sink)
+    results = report.data["results"]
+    assert results["stale + hermes refine"] <= results["stale LDG"]
+
+
+def test_ablation_straggler(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_straggler, report_sink)
+    assert all(degraded > healthy
+               for healthy, degraded in report.data["results"].values())
+
+
+def test_ablation_partitioning_cost(benchmark, report_sink):
+    report = run_experiment(benchmark, ablation_partitioning_cost,
+                            report_sink)
+    results = report.data["results"]
+    assert results["ecr"][0] < results["mts"][0]

@@ -1,0 +1,13 @@
+"""Figure 1: replication factor vs network I/O per cut model.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure1
+
+
+def test_fig1(benchmark, report_sink):
+    report = run_experiment(benchmark, figure1, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Figure 12: fixed client population vs cluster size.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure12
+
+
+def test_fig12(benchmark, report_sink):
+    report = run_experiment(benchmark, figure12, report_sink)
+    assert report.tables and report.tables[0].rows

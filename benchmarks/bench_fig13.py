@@ -1,0 +1,13 @@
+"""Figure 13: full offline grid (datasets x workloads x k).
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure13
+
+
+def test_fig13(benchmark, report_sink):
+    report = run_experiment(benchmark, figure13, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Figure 14: 1-hop throughput on the real-world-like graphs.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure14
+
+
+def test_fig14(benchmark, report_sink):
+    report = run_experiment(benchmark, figure14, report_sink)
+    assert report.tables and report.tables[0].rows

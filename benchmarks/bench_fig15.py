@@ -1,0 +1,13 @@
+"""Figure 15: per-worker read distributions on all graphs.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure15
+
+
+def test_fig15(benchmark, report_sink):
+    report = run_experiment(benchmark, figure15, report_sink)
+    assert report.tables and report.tables[0].rows

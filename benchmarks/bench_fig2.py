@@ -1,0 +1,13 @@
+"""Figure 2: replication factors, all algorithms x datasets x k.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure2
+
+
+def test_fig2(benchmark, report_sink):
+    report = run_experiment(benchmark, figure2, report_sink)
+    assert report.tables and report.tables[0].rows

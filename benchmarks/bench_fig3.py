@@ -1,0 +1,13 @@
+"""Figure 3: offline workload execution time on the Twitter-like graph.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure3
+
+
+def test_fig3(benchmark, report_sink):
+    report = run_experiment(benchmark, figure3, report_sink)
+    assert report.tables and report.tables[0].rows

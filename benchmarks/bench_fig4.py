@@ -1,0 +1,13 @@
+"""Figure 4: per-machine computation-time distribution (PageRank).
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure4
+
+
+def test_fig4(benchmark, report_sink):
+    report = run_experiment(benchmark, figure4, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Figure 5: edge-cut ratio vs network I/O (1-hop).
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure5
+
+
+def test_fig5(benchmark, report_sink):
+    report = run_experiment(benchmark, figure5, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Figure 6: online throughput, 1-hop & 2-hop, medium/high load.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure6
+
+
+def test_fig6(benchmark, report_sink):
+    report = run_experiment(benchmark, figure6, report_sink)
+    assert report.tables and report.tables[0].rows

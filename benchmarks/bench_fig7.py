@@ -1,0 +1,13 @@
+"""Figure 7: per-worker vertex reads (1-hop, LDBC-like).
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure7
+
+
+def test_fig7(benchmark, report_sink):
+    report = run_experiment(benchmark, figure7, report_sink)
+    assert report.tables and report.tables[0].rows

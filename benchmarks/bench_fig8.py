@@ -1,0 +1,13 @@
+"""Figure 8: workload-aware weighted partitioning.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure8
+
+
+def test_fig8(benchmark, report_sink):
+    report = run_experiment(benchmark, figure8, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Figure 9: decision tree vs measured winners.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import figure9
+
+
+def test_fig9(benchmark, report_sink):
+    report = run_experiment(benchmark, figure9, report_sink)
+    assert report.tables and report.tables[0].rows

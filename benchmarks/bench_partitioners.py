@@ -1,0 +1,34 @@
+"""Raw partitioner throughput (edges or vertices per second).
+
+Not a paper figure, but the paper's Section 4 claims streaming algorithms
+are "approximately ten times faster than their offline counterpart,
+METIS" — this bench measures each algorithm's single-pass cost on the
+same graph so the streaming-vs-offline cost gap is visible in the
+pytest-benchmark table.
+"""
+
+import pytest
+
+from repro.experiments.datasets import load_dataset
+from repro.partitioning import OFFLINE_ALGORITHMS, make_partitioner
+
+K = 16
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("twitter", "quick")
+
+
+@pytest.mark.parametrize("algorithm", OFFLINE_ALGORITHMS)
+def test_partitioner_throughput(benchmark, graph, algorithm):
+    partitioner = make_partitioner(algorithm)
+
+    def _run():
+        return partitioner.partition(graph, K, order="natural", seed=1)
+
+    partition = benchmark.pedantic(_run, rounds=2, iterations=1)
+    assert partition.is_complete()
+    benchmark.extra_info["edges"] = graph.num_edges
+    benchmark.extra_info["edges_per_second"] = (
+        graph.num_edges / benchmark.stats.stats.mean)

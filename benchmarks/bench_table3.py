@@ -1,0 +1,13 @@
+"""Table 3: dataset characteristics.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, report_sink):
+    report = run_experiment(benchmark, table3, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Table 4: edge-cut ratio on the LDBC-like graph.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, report_sink):
+    report = run_experiment(benchmark, table4, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,13 @@
+"""Table 5: 1-hop latency under medium/high load.
+
+Regenerates the experiment and prints/saves the series the paper reports.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, report_sink):
+    report = run_experiment(benchmark, table5, report_sink)
+    assert report.tables and report.tables[0].rows

@@ -1,0 +1,49 @@
+"""Benchmark harness configuration.
+
+Every ``bench_<id>.py`` regenerates one of the paper's tables or figures
+(at the ``quick`` scale unless ``REPRO_SCALE`` overrides it), times the
+regeneration with pytest-benchmark, prints the rendered report and saves
+it under ``benchmarks/output/<id>.txt`` so the series the paper reports
+are inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+# Benchmarks default to the quick profile; a full EXPERIMENTS.md run
+# exports REPRO_SCALE=default instead.
+os.environ.setdefault("REPRO_SCALE", "quick")
+
+
+@pytest.fixture()
+def report_sink(capsys):
+    """Print a rendered experiment report and persist it to disk."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _sink(report):
+        text = report.render()
+        (OUTPUT_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+        return report
+
+    return _sink
+
+
+def run_experiment(benchmark, entry_point, report_sink, **kwargs):
+    """Time one full experiment regeneration (single round — experiments
+    are deterministic, so repeated rounds only re-measure caching)."""
+    from repro.experiments import ExperimentContext
+
+    def _run():
+        return entry_point(ExperimentContext(), **kwargs)
+
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    return report_sink(report)

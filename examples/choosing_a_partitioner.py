@@ -1,0 +1,44 @@
+"""Choosing a partitioner with the paper's Figure 9 decision tree.
+
+Classifies three structurally different graphs, walks the decision tree
+for offline-analytics and online-query scenarios, and prints the
+recommendation together with the decision path.
+
+Run:  python examples/choosing_a_partitioner.py
+"""
+
+from repro.graph.analysis import classify_graph, degree_stats
+from repro.graph.generators import ldbc_like, road_like, twitter_like, web_like
+from repro.partitioning import recommend, recommend_for_graph
+
+
+def main() -> None:
+    graphs = [
+        twitter_like(num_vertices=5_000, seed=1),
+        web_like(scale=12, seed=2),
+        road_like(num_vertices=5_000, seed=3),
+        ldbc_like(num_vertices=5_000, seed=4),
+    ]
+    print("Offline analytics — the graph's degree profile decides:\n")
+    for graph in graphs:
+        stats = degree_stats(graph)
+        rec = recommend_for_graph(graph, "analytics")
+        print(f"  {graph.name:14s} avg degree {stats.avg_degree:6.1f}, "
+              f"max {stats.max_degree:6d}, class {classify_graph(graph):12s}"
+              f" -> {rec.algorithm.upper():7s} ({' -> '.join(rec.path)})")
+
+    print("\nOnline graph queries — the SLO decides:\n")
+    scenarios = [
+        ("p99-critical API serving", dict(tail_latency_critical=True)),
+        ("bulk read-mostly service, medium load",
+         dict(load="medium", objective="throughput")),
+        ("overloaded cluster", dict(load="high")),
+    ]
+    for label, kwargs in scenarios:
+        rec = recommend("online", **kwargs)
+        print(f"  {label:40s} -> {rec.algorithm.upper():7s} "
+              f"({' -> '.join(rec.path)})")
+
+
+if __name__ == "__main__":
+    main()

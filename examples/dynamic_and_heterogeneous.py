@@ -1,0 +1,66 @@
+"""Beyond the paper's benchmarks: dynamic graphs and heterogeneous clusters.
+
+Demonstrates the Appendix-A extensions the paper surveys but does not
+benchmark:
+
+1. **Heterogeneous capacities** — partition for a cluster whose machines
+   have different compute power (LeBeane et al. / BMI style).
+2. **Incremental placement** — absorb newly arriving vertices into an
+   existing partitioning without re-partitioning.
+3. **Hermes-style refinement** — improve a loaded partitioning in place
+   with gain-driven vertex migration.
+
+Run:  python examples/dynamic_and_heterogeneous.py
+"""
+
+import numpy as np
+
+from repro.graph.generators import ldbc_like
+from repro.metrics import edge_cut_ratio
+from repro.partitioning import (
+    HeterogeneousLdgPartitioner,
+    IncrementalEdgeCutPartitioner,
+    LdgPartitioner,
+    hermes_refine,
+    make_partitioner,
+)
+
+
+def main() -> None:
+    graph = ldbc_like(num_vertices=6_000, avg_degree=16, seed=21)
+    print(f"graph: {graph.name}, {graph.num_edges:,} edges\n")
+
+    # 1. Heterogeneous cluster: one big machine, three small ones.
+    shares = [4, 1, 1, 1]
+    het = HeterogeneousLdgPartitioner(shares, seed=0).partition(
+        graph, 4, order="natural", seed=1)
+    sizes = het.sizes()
+    print("1) heterogeneous LDG with capacity shares", shares)
+    print(f"   partition sizes: {sizes.tolist()} "
+          f"(fractions {np.round(sizes / sizes.sum(), 2).tolist()})")
+    print(f"   edge-cut ratio:  {edge_cut_ratio(graph, het):.3f}\n")
+
+    # 2. Incremental placement: 50 new users join the network.
+    base = LdgPartitioner(seed=0).partition(graph, 8, order="natural", seed=1)
+    incremental = IncrementalEdgeCutPartitioner(base, seed=0)
+    rng = np.random.default_rng(5)
+    for _ in range(50):
+        friends = rng.choice(graph.num_vertices, size=6, replace=False)
+        incremental.add_vertex(friends)
+    snapshot = incremental.to_partition()
+    print("2) incremental placement of 50 new vertices")
+    print(f"   vertices: {base.num_vertices:,} -> {snapshot.num_vertices:,}, "
+          f"balance max/mean = "
+          f"{snapshot.sizes().max() / snapshot.sizes().mean():.3f}\n")
+
+    # 3. Hermes-style refinement of a hash partitioning.
+    hashed = make_partitioner("ecr").partition(graph, 8)
+    refined = hermes_refine(graph, hashed, balance_slack=1.05, seed=3)
+    print("3) Hermes-style refinement of hash partitioning")
+    print(f"   edge-cut ratio: {edge_cut_ratio(graph, hashed):.3f} -> "
+          f"{edge_cut_ratio(graph, refined):.3f} "
+          f"(balance {refined.sizes().max() / refined.sizes().mean():.3f})")
+
+
+if __name__ == "__main__":
+    main()

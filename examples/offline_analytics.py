@@ -1,0 +1,43 @@
+"""Offline analytics: how partitioning choice changes PageRank's cost.
+
+Reproduces the paper's Section 6.2 experiment in miniature: run PageRank
+on the same graph under an edge-cut, a vertex-cut and a hybrid-cut
+partitioning, and compare replication factor, network traffic, compute
+balance and modelled execution time on the simulated PowerLyra-style
+cluster.
+
+Run:  python examples/offline_analytics.py
+"""
+
+from repro.analytics import PageRank, run_workload
+from repro.graph.generators import twitter_like
+from repro.partitioning import make_partitioner
+
+NUM_PARTITIONS = 32
+ALGORITHMS = ("ecr", "ldg", "vcr", "hdrf", "hcr", "hg")
+
+
+def main() -> None:
+    graph = twitter_like(num_vertices=12_000, avg_degree=14, seed=11)
+    print(f"PageRank (10 iterations) on {graph.name} "
+          f"({graph.num_edges:,} edges), {NUM_PARTITIONS} machines\n")
+    print(f"{'algorithm':10s} {'repl':>6s} {'network MB':>11s} "
+          f"{'msgs':>9s} {'max/mean CPU':>13s} {'exec ms':>9s}")
+    print("-" * 64)
+    for name in ALGORITHMS:
+        partition = make_partitioner(name).partition(
+            graph, NUM_PARTITIONS, order="natural", seed=42)
+        run = run_workload(graph, partition, PageRank(num_iterations=10))
+        dist = run.compute_distribution()
+        print(f"{name:10s} {run.replication_factor:6.2f} "
+              f"{run.total_network_bytes / 1e6:11.2f} "
+              f"{run.total_messages:9,d} {dist.max_over_mean:13.2f} "
+              f"{run.execution_seconds * 1e3:9.2f}")
+    print("\nShapes to notice (paper Section 6.2): the edge-cut rows move"
+          "\nthe fewest bytes per replica (no mirror updates for"
+          "\nuni-directional PageRank), while the greedy edge-cut methods"
+          "\nshow the worst max/mean compute balance on this skewed graph.")
+
+
+if __name__ == "__main__":
+    main()

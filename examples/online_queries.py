@@ -1,0 +1,47 @@
+"""Online queries: throughput/latency trade-offs on a graph database.
+
+Reproduces the paper's Section 6.3 experiment in miniature: serve a
+skewed 1-hop query workload from a simulated 16-worker JanusGraph-style
+cluster under hash, LDG, FENNEL and multilevel (METIS-like)
+partitionings, at medium (12 clients/worker) and high (24) load.
+
+Run:  python examples/online_queries.py
+"""
+
+from repro.database import WorkloadGenerator, simulate_workload
+from repro.graph.generators import ldbc_like
+from repro.partitioning import ONLINE_ALGORITHMS, make_partitioner
+
+NUM_WORKERS = 16
+
+
+def main() -> None:
+    graph = ldbc_like(num_vertices=8_000, avg_degree=20, seed=3)
+    generator = WorkloadGenerator(graph, skew=0.6, seed=5)
+    bindings = generator.bindings("one_hop", 500)
+    print(f"1-hop workload on {graph.name} ({graph.num_edges:,} edges), "
+          f"{NUM_WORKERS} workers, Zipf-skewed start vertices\n")
+    print(f"{'algorithm':10s} {'load':6s} {'throughput q/s':>15s} "
+          f"{'mean ms':>8s} {'p99 ms':>8s} {'read max/mean':>14s}")
+    print("-" * 68)
+    for name in ONLINE_ALGORITHMS:
+        partition = make_partitioner(name).partition(
+            graph, NUM_WORKERS, order="natural", seed=42)
+        for label, clients in (("medium", 12), ("high", 24)):
+            result = simulate_workload(graph, partition, bindings,
+                                       clients_per_worker=clients,
+                                       duration=1.0)
+            latency = result.latency()
+            reads = result.read_distribution()
+            print(f"{name:10s} {label:6s} {result.throughput:15,.0f} "
+                  f"{latency.mean * 1e3:8.1f} {latency.p99 * 1e3:8.1f} "
+                  f"{reads.max() / reads.mean():14.2f}")
+    print("\nShapes to notice (paper Section 6.3): the offline multilevel"
+          "\npartitioning wins throughput; the greedy streaming methods pay"
+          "\nfor their hotspots with tail latency, especially under high"
+          "\nload — which is why the paper recommends plain hashing for"
+          "\nlatency-critical online workloads.")
+
+
+if __name__ == "__main__":
+    main()

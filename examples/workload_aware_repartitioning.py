@@ -1,0 +1,63 @@
+"""Workload-aware repartitioning (the paper's Figure 8 methodology).
+
+1. Serve a skewed 1-hop workload from a hash-partitioned cluster and
+   *record* per-vertex access counts.
+2. Re-partition the graph with the multilevel partitioner, balancing on
+   the recorded access weights instead of vertex counts.
+3. Serve the same workload again and compare throughput and the relative
+   standard deviation of per-worker load.
+
+Run:  python examples/workload_aware_repartitioning.py
+"""
+
+from repro.database import (
+    WorkloadGenerator,
+    plan_query,
+    record_workload,
+    simulate_workload,
+)
+from repro.graph.generators import ldbc_like
+from repro.metrics import relative_standard_deviation
+from repro.partitioning import make_partitioner, workload_aware_partition
+
+NUM_WORKERS = 16
+
+
+def serve(graph, partition, bindings, label):
+    result = simulate_workload(graph, partition, bindings,
+                               clients_per_worker=12, duration=1.0)
+    rsd = relative_standard_deviation(result.read_distribution())
+    print(f"{label:24s} throughput={result.throughput:8,.0f} q/s   "
+          f"load RSD={rsd:.3f}")
+    return result
+
+
+def main() -> None:
+    graph = ldbc_like(num_vertices=8_000, avg_degree=20, seed=3)
+    generator = WorkloadGenerator(graph, skew=0.7, seed=5)
+    bindings = generator.bindings("one_hop", 600)
+
+    # Step 0: baselines.
+    mts = make_partitioner("mts").partition(graph, NUM_WORKERS, seed=42)
+    serve(graph, make_partitioner("ecr").partition(graph, NUM_WORKERS),
+          bindings, "hash (ECR)")
+    serve(graph, mts, bindings, "multilevel (MTS)")
+
+    # Step 1: record the workload's access pattern.
+    plans = [plan_query(graph, b.kind, b.start_vertex) for b in bindings]
+    log = record_workload(graph, plans)
+    hot = log.hot_vertices(3)
+    print(f"\nrecorded {log.queries_recorded} queries; hottest vertices "
+          f"{hot.tolist()} with {log.vertex_reads[hot].tolist()} reads\n")
+
+    # Steps 2-3: weighted repartitioning, same workload.
+    weighted = workload_aware_partition(graph, NUM_WORKERS,
+                                        log.vertex_reads, seed=42)
+    serve(graph, weighted, bindings, "workload-aware (MTS-W)")
+    print("\nThe weighted partitioning balances *accesses*, not vertices —"
+          "\nthe paper measured 13-35% higher throughput from exactly this"
+          "\nrecipe (Section 6.3.3, Figure 8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — reproduction of "Experimental Analysis of Streaming Algorithms
+for Graph Partitioning" (Pacaci & Özsu, SIGMOD 2019).
+
+The package provides, from scratch:
+
+* :mod:`repro.graph` — compact graphs, stream models, synthetic dataset
+  generators standing in for the paper's datasets;
+* :mod:`repro.partitioning` — every streaming graph partitioning
+  algorithm the paper studies (edge-cut, vertex-cut and hybrid-cut), a
+  multilevel offline baseline, and the Figure 9 decision tree;
+* :mod:`repro.metrics` — structural and runtime metrics;
+* :mod:`repro.analytics` — a PowerLyra-style synchronous GAS engine with
+  exact master/mirror communication accounting (offline workloads:
+  PageRank, WCC, SSSP);
+* :mod:`repro.database` — a JanusGraph-style distributed graph database
+  simulator (online workloads: 1-hop, 2-hop, shortest path);
+* :mod:`repro.experiments` — one entry point per paper table/figure,
+  also available as ``python -m repro <experiment-id>``.
+
+Quickstart::
+
+    from repro.graph.generators import twitter_like
+    from repro.partitioning import make_partitioner
+    from repro.metrics import replication_factor
+
+    graph = twitter_like(num_vertices=10_000, seed=7)
+    partition = make_partitioner("hdrf").partition(graph, 16, order="random")
+    print(replication_factor(graph, partition))
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    PartitioningError,
+    ReproError,
+    SimulationError,
+)
+from repro.graph import EdgeStream, Graph, GraphBuilder, VertexStream
+from repro.metrics import edge_cut_ratio, load_imbalance, replication_factor
+from repro.partitioning import (
+    EdgePartition,
+    VertexPartition,
+    available_algorithms,
+    make_partitioner,
+    recommend,
+    recommend_for_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "GraphFormatError",
+    "PartitioningError",
+    "SimulationError",
+    "Graph",
+    "GraphBuilder",
+    "VertexStream",
+    "EdgeStream",
+    "VertexPartition",
+    "EdgePartition",
+    "make_partitioner",
+    "available_algorithms",
+    "recommend",
+    "recommend_for_graph",
+    "edge_cut_ratio",
+    "replication_factor",
+    "load_imbalance",
+]

@@ -1,0 +1,41 @@
+"""PowerLyra-style distributed analytics engine simulator."""
+
+from repro.analytics.cost import DEFAULT_COST_MODEL, CostModel
+from repro.analytics.engine import GasEngine, run_workload
+from repro.analytics.placement import Placement
+from repro.analytics.result import AnalyticsRun, IterationStats
+from repro.analytics.workloads.base import IterationActivity, Workload
+from repro.analytics.workloads.bfs import BreadthFirstSearch
+from repro.analytics.workloads.kcore import KCore
+from repro.analytics.workloads.label_propagation import LabelPropagation
+from repro.analytics.workloads.pagerank import PageRank
+from repro.analytics.workloads.sssp import SingleSourceShortestPath
+from repro.analytics.workloads.wcc import WeaklyConnectedComponents
+
+WORKLOADS = {
+    "pagerank": PageRank,
+    "wcc": WeaklyConnectedComponents,
+    "sssp": SingleSourceShortestPath,
+    "bfs": BreadthFirstSearch,
+    "kcore": KCore,
+    "label-propagation": LabelPropagation,
+}
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "GasEngine",
+    "run_workload",
+    "Placement",
+    "AnalyticsRun",
+    "IterationStats",
+    "Workload",
+    "IterationActivity",
+    "PageRank",
+    "WeaklyConnectedComponents",
+    "SingleSourceShortestPath",
+    "BreadthFirstSearch",
+    "KCore",
+    "LabelPropagation",
+    "WORKLOADS",
+]

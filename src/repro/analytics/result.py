@@ -1,0 +1,70 @@
+"""Result records produced by the analytics engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.runtime import DistributionSummary, summarize
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Counts and modelled time of one super-step."""
+
+    iteration: int
+    gather_messages: int
+    mirror_update_messages: int
+    network_bytes: float
+    #: Modelled CPU seconds per machine this step.
+    compute_seconds: np.ndarray
+    wall_seconds: float
+
+    @property
+    def total_messages(self) -> int:
+        return self.gather_messages + self.mirror_update_messages
+
+
+@dataclass
+class AnalyticsRun:
+    """Full trace of one workload execution on one placement.
+
+    This is the record the offline figures read: total network I/O
+    (Fig. 1), per-machine computation-time distribution (Fig. 4) and
+    execution time (Figs. 3/13).
+    """
+
+    workload: str
+    algorithm: str
+    num_partitions: int
+    replication_factor: float
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_network_bytes(self) -> float:
+        return float(sum(it.network_bytes for it in self.iterations))
+
+    @property
+    def total_messages(self) -> int:
+        return int(sum(it.total_messages for it in self.iterations))
+
+    @property
+    def execution_seconds(self) -> float:
+        """End-to-end modelled execution time (excludes partitioning, as
+        the paper's latency metric does)."""
+        return float(sum(it.wall_seconds for it in self.iterations))
+
+    def compute_seconds_per_machine(self) -> np.ndarray:
+        """Total modelled CPU seconds per machine (Fig. 4's distribution)."""
+        if not self.iterations:
+            return np.zeros(self.num_partitions)
+        return np.sum([it.compute_seconds for it in self.iterations], axis=0)
+
+    def compute_distribution(self) -> DistributionSummary:
+        """Five-number summary of per-machine compute time (one Fig. 4 box)."""
+        return summarize(self.compute_seconds_per_machine())

@@ -1,0 +1,20 @@
+"""Offline analytic workloads."""
+
+from repro.analytics.workloads.base import IterationActivity, Workload
+from repro.analytics.workloads.bfs import BreadthFirstSearch
+from repro.analytics.workloads.kcore import KCore
+from repro.analytics.workloads.label_propagation import LabelPropagation
+from repro.analytics.workloads.pagerank import PageRank
+from repro.analytics.workloads.sssp import SingleSourceShortestPath
+from repro.analytics.workloads.wcc import WeaklyConnectedComponents
+
+__all__ = [
+    "Workload",
+    "IterationActivity",
+    "PageRank",
+    "WeaklyConnectedComponents",
+    "SingleSourceShortestPath",
+    "BreadthFirstSearch",
+    "KCore",
+    "LabelPropagation",
+]

@@ -1,0 +1,66 @@
+"""k-core decomposition by iterative peeling.
+
+A vertex belongs to the k-core if it survives repeated removal of all
+vertices with (undirected) degree < k.  The distributed implementation is
+a shrinking-activity workload like WCC, but with *elimination* semantics:
+a removed vertex notifies its neighbours, whose effective degrees drop,
+possibly cascading — an aggressive test of partitionings under rapidly
+shifting load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.analytics.workloads.base import IterationActivity, Workload
+from repro.errors import ConfigurationError
+from repro.graph.digraph import Graph
+
+
+class KCore(Workload):
+    """Membership in the k-core (bi-directional propagation).
+
+    ``result()`` is a boolean array: True for vertices in the k-core.
+    """
+
+    name = "kcore"
+    direction = "bi"
+
+    def __init__(self, k: int = 3, max_iterations: int = 100_000):
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        self.k = k
+        self.max_iterations = max_iterations
+        self._values: np.ndarray | None = None
+
+    def iterations(self, graph: Graph) -> Iterator[IterationActivity]:
+        n = graph.num_vertices
+        if n == 0:
+            return
+        src, dst = graph.src, graph.dst
+        effective = graph.degree.astype(np.int64).copy()
+        alive = np.ones(n, dtype=bool)
+
+        for _step in range(self.max_iterations):
+            removing = alive & (effective < self.k)
+            if not removing.any():
+                break
+            alive &= ~removing
+            # Removed vertices notify both endpoints of their edges.
+            drop = np.zeros(n, dtype=np.int64)
+            fwd = removing[src]
+            if fwd.any():
+                np.add.at(drop, dst[fwd], 1)
+            rev = removing[dst]
+            if rev.any():
+                np.add.at(drop, src[rev], 1)
+            effective -= drop
+            self._values = alive.copy()
+            yield IterationActivity(
+                sends_forward=removing,
+                sends_reverse=removing,
+                changed=removing,
+            )
+        self._values = alive.copy()

@@ -1,0 +1,53 @@
+"""JanusGraph-style distributed graph database simulator."""
+
+from repro.database.access_log import AccessLog, record_workload
+from repro.database.cluster import Cluster, ServiceModel, Worker
+from repro.database.mutations import (
+    MUTATION_KINDS,
+    GraphMutationLog,
+    insert_edge_plan,
+    mixed_read_write_bindings,
+    update_vertex_plan,
+)
+from repro.database.queries import (
+    QUERY_KINDS,
+    QueryPlan,
+    one_hop,
+    plan_query,
+    shortest_path,
+    two_hop,
+)
+from repro.database.router import PhaseRequests, RoutedQuery, route_plan
+from repro.database.simulation import (
+    ClosedLoopSimulation,
+    SimulationResult,
+    simulate_workload,
+)
+from repro.database.workload import QueryBinding, WorkloadGenerator
+
+__all__ = [
+    "QueryPlan",
+    "one_hop",
+    "two_hop",
+    "shortest_path",
+    "plan_query",
+    "QUERY_KINDS",
+    "QueryBinding",
+    "WorkloadGenerator",
+    "Cluster",
+    "Worker",
+    "ServiceModel",
+    "RoutedQuery",
+    "PhaseRequests",
+    "route_plan",
+    "ClosedLoopSimulation",
+    "SimulationResult",
+    "simulate_workload",
+    "AccessLog",
+    "record_workload",
+    "GraphMutationLog",
+    "insert_edge_plan",
+    "update_vertex_plan",
+    "mixed_read_write_bindings",
+    "MUTATION_KINDS",
+]

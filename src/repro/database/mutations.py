@@ -1,0 +1,132 @@
+"""Write operations for the online workload (LinkBench-style).
+
+The paper's online motivation leans on Facebook's LinkBench, whose
+workload is >50% 1-hop reads *plus a substantial write mix* (edge
+inserts, vertex updates).  This module adds those mutations to the
+simulated graph database:
+
+* an **edge insert** touches both endpoint owners (forward adjacency at
+  the source's partition, reverse adjacency at the target's) — under an
+  edge-cut placement a co-located edge is a single-partition write;
+* a **vertex update** touches the owner partition only.
+
+Mutations are expressed as :class:`~repro.database.queries.QueryPlan`
+objects (each phase = records touched in parallel), so the closed-loop
+simulator executes mixed read/write workloads unchanged, and
+:class:`GraphMutationLog` collects the inserts so a grown graph can be
+re-materialised for dynamic-partitioning experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.database.queries import QueryPlan
+from repro.errors import ConfigurationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import Graph
+
+MUTATION_KINDS = ("insert_edge", "update_vertex")
+
+
+def insert_edge_plan(graph: Graph, src: int, dst: int) -> QueryPlan:
+    """The storage footprint of inserting edge ``src -> dst``.
+
+    One phase touching both endpoint records: the forward adjacency entry
+    at ``src``'s owner and the reverse entry at ``dst``'s — issued in
+    parallel like JanusGraph's dual writes.
+    """
+    _check(graph, src)
+    _check(graph, dst)
+    vertices = np.unique(np.array([src, dst], dtype=np.int64))
+    return QueryPlan("insert_edge", src, [vertices])
+
+
+def update_vertex_plan(graph: Graph, vertex: int) -> QueryPlan:
+    """The storage footprint of updating one vertex's properties."""
+    _check(graph, vertex)
+    return QueryPlan("update_vertex", vertex,
+                     [np.array([vertex], dtype=np.int64)])
+
+
+def _check(graph: Graph, vertex: int) -> None:
+    if not 0 <= vertex < graph.num_vertices:
+        raise ConfigurationError(
+            f"vertex {vertex} out of range for {graph.num_vertices} vertices")
+
+
+class GraphMutationLog:
+    """Accumulates edge inserts so the grown graph can be materialised.
+
+    The dynamic-partitioning experiments use this to measure how a stale
+    partitioning degrades as the graph grows, and how refinement
+    (:func:`repro.partitioning.dynamic.hermes_refine`) recovers it.
+    """
+
+    def __init__(self, base: Graph):
+        self.base = base
+        self._inserts: list[tuple[int, int]] = []
+
+    def insert_edge(self, src: int, dst: int) -> None:
+        _check(self.base, src)
+        _check(self.base, dst)
+        self._inserts.append((src, dst))
+
+    @property
+    def num_inserts(self) -> int:
+        return len(self._inserts)
+
+    def materialize(self, name: str | None = None) -> Graph:
+        """The base graph plus every logged insert."""
+        builder = GraphBuilder(num_vertices=self.base.num_vertices,
+                               allow_self_loops=True)
+        builder.add_edges(self.base.edge_array())
+        if self._inserts:
+            builder.add_edges(self._inserts)
+        return builder.build(name=name or f"{self.base.name}+{self.num_inserts}")
+
+
+def mixed_read_write_bindings(generator, *, count: int = 1000,
+                              write_fraction: float = 0.25,
+                              seed_offset: int = 0):
+    """LinkBench-flavoured binding mix: 1-hop reads plus edge inserts.
+
+    ``generator`` is a :class:`~repro.database.workload.WorkloadGenerator`;
+    write sources follow the same popularity distribution the reads use
+    (hot entities attract both reads and writes) and targets follow
+    triadic closure — new edges overwhelmingly connect friends-of-friends
+    in social workloads — falling back to popularity sampling for sources
+    with no 2-hop neighbourhood.
+    Returns ``(bindings, inserts)`` where *inserts* lists the (src, dst)
+    pairs behind the write bindings, for feeding a
+    :class:`GraphMutationLog`.
+    """
+    from repro.database.workload import QueryBinding
+
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must lie in [0, 1]")
+    num_writes = int(round(count * write_fraction))
+    num_reads = count - num_writes
+    bindings = list(generator.bindings("one_hop", num_reads)) if num_reads \
+        else []
+    inserts: list[tuple[int, int]] = []
+    if num_writes:
+        graph = generator.graph
+        rng = np.random.default_rng(2000 + seed_offset)
+        sources = generator.sample_vertices(num_writes)
+        fallback = generator.sample_vertices(num_writes)
+        for index, src in enumerate(sources.tolist()):
+            dst = int(fallback[index])
+            friends = graph.neighbors(src)
+            if friends.size:
+                friend = int(friends[rng.integers(0, friends.size)])
+                candidates = graph.neighbors(friend)
+                candidates = candidates[candidates != src]
+                if candidates.size:
+                    dst = int(candidates[rng.integers(0, candidates.size)])
+            inserts.append((src, dst))
+            bindings.append(QueryBinding("insert_edge", src, dst))
+    # Interleave deterministically so writes spread over the run.
+    rng = np.random.default_rng(1000 + seed_offset)
+    order = rng.permutation(len(bindings))
+    return [bindings[i] for i in order.tolist()], inserts

@@ -1,0 +1,314 @@
+"""Closed-loop discrete-event simulation of the graph-database cluster.
+
+Reproduces the paper's online-query methodology (Section 5.2): a cluster
+of ``k`` workers serves 1-hop / 2-hop / shortest-path queries issued by
+``C`` concurrent closed-loop clients per worker — 12 for the paper's
+*medium load* ("high utilization"), 24 for *high load* ("overloaded").
+Each client issues its next query the moment the previous one completes.
+
+The simulation is an exact FIFO single-server queueing model per worker:
+requests arrive (after a half-RTT if remote), queue, occupy the server
+for a deterministic service time, and respond (plus the other half-RTT).
+A query advances phase by phase; a phase completes when its slowest
+request responds.  Everything is deterministic given the binding set, so
+two partitioning algorithms are compared on *exactly* the same workload —
+the paper's setup.
+
+What emerges, rather than being programmed in:
+
+* lower edge-cut ratio → fewer/larger/more-local requests → less
+  per-request overhead and network time → higher throughput under medium
+  load (Fig. 6, Table 4→Fig. 5 correlation);
+* workload skew + clustering partitioners → hot workers → queueing →
+  collapsed tail latency under high load (Table 5, Figs. 7/15);
+* more workers at fixed client count → more remote fan-out per query →
+  throughput degradation beyond ~16 workers (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.database.cluster import Cluster, ServiceModel
+from repro.database.queries import plan_query
+from repro.database.router import RoutedQuery, route_plan
+from repro.database.workload import QueryBinding
+from repro.errors import ConfigurationError
+from repro.graph.digraph import Graph
+from repro.metrics.runtime import LatencySummary, latency_summary
+
+#: Wire size of one vertex record (id + properties + framing).
+BYTES_PER_VERTEX_RECORD = 128.0
+#: Fixed wire overhead of one remote request/response pair.
+BYTES_PER_REMOTE_REQUEST = 256.0
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulated run."""
+
+    num_workers: int
+    clients_per_worker: int
+    duration: float
+    warmup: float
+    completed_queries: int
+    latencies: np.ndarray
+    vertices_read_per_worker: np.ndarray
+    requests_per_worker: np.ndarray
+    busy_seconds_per_worker: np.ndarray
+    network_bytes: float
+    remote_reads: int
+    total_reads: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second (post-warmup)."""
+        window = self.duration - self.warmup
+        if window <= 0:
+            return 0.0
+        return self.completed_queries / window
+
+    def latency(self) -> LatencySummary:
+        """Mean / p50 / p99 of post-warmup query latencies (Table 5)."""
+        return latency_summary(self.latencies)
+
+    def read_distribution(self) -> np.ndarray:
+        """Per-worker vertex reads (the Fig. 7/15 distribution)."""
+        return self.vertices_read_per_worker
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: object = field(compare=False)
+
+
+class _QueryState:
+    """Progress of one in-flight query."""
+
+    __slots__ = ("routed", "client", "phase", "outstanding", "started",
+                 "phase_ready")
+
+    def __init__(self, routed: RoutedQuery, client: int, started: float):
+        self.routed = routed
+        self.client = client
+        self.phase = 0
+        self.outstanding = 0
+        self.started = started
+        self.phase_ready = started
+
+
+class ClosedLoopSimulation:
+    """Closed-loop query simulation over a partitioned graph store.
+
+    Parameters
+    ----------
+    graph:
+        The stored graph (query plans are computed against it).
+    vertex_owner:
+        Worker id per vertex — a :class:`~repro.partitioning.base.
+        VertexPartition` assignment (JanusGraph's edge-cut placement).
+    clients_per_worker:
+        12 = the paper's medium load, 24 = high load.
+    service_model:
+        Cluster timing constants.
+    fanout_limit:
+        Optional 2-hop frontier cap (see :func:`repro.database.queries.
+        two_hop`).
+    """
+
+    def __init__(self, graph: Graph, vertex_owner, num_workers: int, *,
+                 clients_per_worker: int = 12,
+                 service_model: ServiceModel | None = None,
+                 fanout_limit: int | None = 64,
+                 worker_speeds=None):
+        owner = np.asarray(vertex_owner, dtype=np.int64)
+        if owner.shape != (graph.num_vertices,):
+            raise ConfigurationError("vertex_owner must map every vertex")
+        if owner.size and (owner.min() < 0 or owner.max() >= num_workers):
+            raise ConfigurationError("vertex_owner contains invalid worker ids")
+        if clients_per_worker < 1:
+            raise ConfigurationError("clients_per_worker must be >= 1")
+        self.graph = graph
+        self.owner = owner
+        self.cluster = Cluster(num_workers, owner, service_model,
+                               worker_speeds=worker_speeds)
+        self.clients_per_worker = clients_per_worker
+        self.fanout_limit = fanout_limit
+        self._plan_cache: dict[tuple, RoutedQuery] = {}
+
+    # ------------------------------------------------------------------
+    def _routed(self, binding: QueryBinding) -> RoutedQuery:
+        key = (binding.kind, binding.start_vertex, binding.target_vertex)
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            plan = plan_query(self.graph, binding.kind, binding.start_vertex,
+                              target_vertex=binding.target_vertex,
+                              fanout_limit=self.fanout_limit)
+            cached = route_plan(plan, self.owner)
+            self._plan_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def run(self, bindings: list[QueryBinding], *, duration: float = 2.0,
+            warmup_fraction: float = 0.25) -> SimulationResult:
+        """Simulate *duration* seconds of closed-loop load.
+
+        Clients cycle through *bindings* at staggered offsets, so every
+        algorithm under comparison serves the same query sequence.
+        Metrics cover completions after ``warmup_fraction * duration``.
+        """
+        if not bindings:
+            raise ConfigurationError("bindings must be non-empty")
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.cluster.reset()
+        model = self.cluster.model
+        num_clients = self.clients_per_worker * self.cluster.num_workers
+        warmup = duration * warmup_fraction
+
+        events: list[_Event] = []
+        sequence = itertools.count()
+        binding_cursor = [int(i * len(bindings) / num_clients)
+                          for i in range(num_clients)]
+
+        latencies: list[float] = []
+        completed = 0
+        network_bytes = 0.0
+        remote_reads = 0
+        total_reads = 0
+
+        def push(time: float, kind: str, payload) -> None:
+            heapq.heappush(events, _Event(time, next(sequence), kind, payload))
+
+        def next_binding(client: int) -> QueryBinding:
+            index = binding_cursor[client]
+            binding_cursor[client] = (index + 1) % len(bindings)
+            return bindings[index]
+
+        def start_query(client: int, now: float) -> None:
+            routed = self._routed(next_binding(client))
+            state = _QueryState(routed, client, now)
+            issue_phase(state, now)
+
+        def issue_phase(state: _QueryState, now: float) -> None:
+            nonlocal network_bytes, remote_reads, total_reads
+            routed = state.routed
+            if state.phase >= len(routed.phases):
+                finish_query(state, now)
+                return
+            requests = routed.phases[state.phase].requests
+            if not requests:
+                state.phase += 1
+                issue_phase(state, now)
+                return
+            state.outstanding = len(requests)
+            for worker_id, reads in requests:
+                worker = self.cluster.workers[worker_id]
+                remote = worker_id != routed.coordinator
+                arrival = now + (model.network_rtt_seconds / 2 if remote else 0.0)
+                service = worker.service_seconds(reads)
+                begin = max(arrival, worker.busy_until)
+                completion = begin + service
+                worker.busy_until = completion
+                worker.stats.requests_served += 1
+                worker.stats.vertices_read += reads
+                worker.stats.busy_seconds += service
+                total_reads += reads
+                if remote:
+                    worker.stats.remote_requests += 1
+                    remote_reads += reads
+                    network_bytes += (BYTES_PER_REMOTE_REQUEST
+                                      + reads * BYTES_PER_VERTEX_RECORD)
+                response = completion + (model.network_rtt_seconds / 2
+                                         if remote else 0.0)
+                push(response, "response", state)
+
+        def finish_query(state: _QueryState, now: float) -> None:
+            nonlocal completed
+            if now >= warmup:
+                latencies.append(now - state.started)
+                completed += 1
+            if now < duration:
+                push(now + model.think_seconds, "start", state.client)
+
+        def on_response(state: _QueryState, now: float) -> None:
+            state.outstanding -= 1
+            if state.outstanding == 0:
+                # Merge the phase's responses on the coordinator: this
+                # occupies the coordinating worker's server, so hot
+                # coordinators queue up and wide fan-out costs CPU.
+                coordinator = self.cluster.workers[state.routed.coordinator]
+                responses = len(state.routed.phases[state.phase].requests)
+                merge = (model.coordinator_overhead_seconds
+                         + responses * model.per_response_seconds) \
+                    / coordinator.speed
+                begin = max(now, coordinator.busy_until)
+                done = begin + merge
+                coordinator.busy_until = done
+                coordinator.stats.busy_seconds += merge
+                state.phase += 1
+                push(done, "phase_done", state)
+
+        def on_phase_done(state: _QueryState, now: float) -> None:
+            issue_phase(state, now)
+
+        # Stagger client start-up across the first millisecond so the
+        # initial burst does not synchronise queues artificially.
+        for client in range(num_clients):
+            push(client * 1e-6, "start", client)
+
+        while events:
+            event = heapq.heappop(events)
+            if event.time > duration:
+                break
+            if event.kind == "start":
+                start_query(event.payload, event.time)
+            elif event.kind == "phase_done":
+                on_phase_done(event.payload, event.time)
+            else:
+                on_response(event.payload, event.time)
+
+        workers = self.cluster.workers
+        return SimulationResult(
+            num_workers=self.cluster.num_workers,
+            clients_per_worker=self.clients_per_worker,
+            duration=duration,
+            warmup=warmup,
+            completed_queries=completed,
+            latencies=np.asarray(latencies),
+            vertices_read_per_worker=np.array(
+                [w.stats.vertices_read for w in workers], dtype=np.int64),
+            requests_per_worker=np.array(
+                [w.stats.requests_served for w in workers], dtype=np.int64),
+            busy_seconds_per_worker=np.array(
+                [w.stats.busy_seconds for w in workers]),
+            network_bytes=network_bytes,
+            remote_reads=remote_reads,
+            total_reads=total_reads,
+        )
+
+
+def simulate_workload(graph: Graph, partition, bindings, *,
+                      clients_per_worker: int = 12, duration: float = 2.0,
+                      service_model: ServiceModel | None = None,
+                      fanout_limit: int | None = 64,
+                      worker_speeds=None) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`ClosedLoopSimulation`."""
+    assignment = getattr(partition, "assignment", partition)
+    num_workers = getattr(partition, "num_partitions",
+                          int(np.max(assignment)) + 1)
+    sim = ClosedLoopSimulation(
+        graph, assignment, num_workers,
+        clients_per_worker=clients_per_worker,
+        service_model=service_model,
+        fanout_limit=fanout_limit,
+        worker_speeds=worker_speeds,
+    )
+    return sim.run(bindings, duration=duration)

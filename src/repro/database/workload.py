@@ -1,0 +1,112 @@
+"""Online query workload generation (Section 5.2.3).
+
+"The LDBC SNB graph data generator produces parameter bindings ... For
+real-world datasets, we randomly select the query vertices that we
+consistently use across all experiments. We generate 1000 bindings for
+each type of query."
+
+This module produces those binding sets.  Crucially for Section 6.3.3, it
+supports *skewed* start-vertex selection: real online workloads
+concentrate on popular entities, so bindings can be drawn from a Zipf
+distribution over vertices ordered by degree (popular ≈ high degree),
+which creates the hotspots whose effect Figures 7/8/15 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import Graph
+from repro.rng import make_rng
+
+
+@dataclass(frozen=True)
+class QueryBinding:
+    """One query instance: kind + parameters."""
+
+    kind: str
+    start_vertex: int
+    target_vertex: int | None = None
+
+
+def zipf_vertex_sampler(graph: Graph, skew: float, rng) -> np.ndarray:
+    """Pre-compute a vertex-sampling distribution with Zipf popularity.
+
+    Vertices are ranked by degree (ties broken by id); rank ``r`` gets
+    probability ∝ ``r^-skew``.  ``skew=0`` is uniform.
+    """
+    n = graph.num_vertices
+    ranks = np.empty(n, dtype=np.float64)
+    order = np.argsort(-graph.degree, kind="stable")
+    ranks[order] = np.arange(1, n + 1)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+class WorkloadGenerator:
+    """Generate reproducible binding sets for the online experiments.
+
+    Parameters
+    ----------
+    graph:
+        The stored graph.
+    skew:
+        Zipf exponent of start-vertex popularity.  The paper's LDBC
+        workload is skewed by construction; ``~0.6–1.0`` reproduces the
+        hotspot behaviour of Section 6.3.3, ``0`` gives a uniform
+        workload.
+    min_degree:
+        Only vertices with at least this total degree are eligible as
+        start vertices (parameter bindings in LDBC target real persons,
+        not isolated placeholder vertices).
+    seed:
+        Binding-set randomness; fixed per experiment so every
+        partitioning algorithm serves the *same* queries.
+    """
+
+    def __init__(self, graph: Graph, *, skew: float = 0.0,
+                 min_degree: int = 1, seed=None):
+        if skew < 0:
+            raise ConfigurationError("skew must be >= 0")
+        self.graph = graph
+        self.skew = skew
+        self.rng = make_rng(seed)
+        probabilities = zipf_vertex_sampler(graph, skew, self.rng)
+        eligible = graph.degree >= min_degree
+        if not eligible.any():
+            raise ConfigurationError("no vertex satisfies min_degree")
+        probabilities = np.where(eligible, probabilities, 0.0)
+        self._probabilities = probabilities / probabilities.sum()
+
+    def sample_vertices(self, count: int) -> np.ndarray:
+        """Draw start vertices by popularity."""
+        return self.rng.choice(self.graph.num_vertices, size=count,
+                               p=self._probabilities)
+
+    def bindings(self, kind: str, count: int = 1000) -> list[QueryBinding]:
+        """A binding set for one query kind (the paper generates 1000)."""
+        starts = self.sample_vertices(count)
+        if kind == "shortest_path":
+            targets = self.sample_vertices(count)
+            return [QueryBinding(kind, int(s), int(t))
+                    for s, t in zip(starts.tolist(), targets.tolist())]
+        if kind not in ("one_hop", "two_hop"):
+            raise ConfigurationError(f"unknown query kind {kind!r}")
+        return [QueryBinding(kind, int(s)) for s in starts.tolist()]
+
+    def mixed_bindings(self, mix: dict[str, float], count: int = 1000,
+                       ) -> list[QueryBinding]:
+        """A binding set drawn from a query-kind mix (fractions sum to 1)."""
+        kinds = list(mix)
+        weights = np.array([mix[kind] for kind in kinds], dtype=np.float64)
+        if weights.sum() <= 0:
+            raise ConfigurationError("mix weights must sum to a positive value")
+        weights /= weights.sum()
+        chosen = self.rng.choice(len(kinds), size=count, p=weights)
+        result: list[QueryBinding] = []
+        for index in chosen.tolist():
+            result.extend(self.bindings(kinds[index], 1))
+        return result

@@ -1,0 +1,31 @@
+"""Shared exception types for the ``repro`` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from data
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or in-memory description could not be parsed."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning algorithm was used incorrectly or produced an
+    inconsistent state (e.g. asking for the assignment of an unseen vertex).
+    """
+
+
+class SimulationError(ReproError):
+    """The analytics engine or database simulator reached an invalid state."""

@@ -1,0 +1,90 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.experiments.ablations import (
+    ablation_dynamic_updates,
+    ablation_fennel_gamma,
+    ablation_partitioning_cost,
+    ablation_straggler,
+    ablation_ginger_threshold,
+    ablation_hdrf_lambda,
+    ablation_restreaming,
+    ablation_sender_side_aggregation,
+    ablation_stream_order,
+)
+from repro.experiments.datasets import (
+    DATASETS,
+    OFFLINE_DATASETS,
+    dataset_summary,
+    load_dataset,
+    scale_profile,
+    sssp_source,
+)
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+)
+from repro.experiments.report import ExperimentReport, Table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.tables import table3, table4, table5
+
+#: Registry of all reproducible experiments, keyed by paper artifact id.
+EXPERIMENTS = {
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "ablation-stream-order": ablation_stream_order,
+    "ablation-fennel-gamma": ablation_fennel_gamma,
+    "ablation-hdrf-lambda": ablation_hdrf_lambda,
+    "ablation-ginger-threshold": ablation_ginger_threshold,
+    "ablation-restreaming": ablation_restreaming,
+    "ablation-dynamic-updates": ablation_dynamic_updates,
+    "ablation-straggler": ablation_straggler,
+    "ablation-partitioning-cost": ablation_partitioning_cost,
+    "ablation-sender-side-aggregation": ablation_sender_side_aggregation,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentContext",
+    "ExperimentReport",
+    "Table",
+    "DATASETS",
+    "OFFLINE_DATASETS",
+    "load_dataset",
+    "dataset_summary",
+    "scale_profile",
+    "sssp_source",
+    "table3", "table4", "table5",
+    "figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+    "figure7", "figure8", "figure9", "figure12", "figure13", "figure14",
+    "figure15",
+    "ablation_stream_order", "ablation_fennel_gamma", "ablation_hdrf_lambda",
+    "ablation_ginger_threshold", "ablation_restreaming",
+    "ablation_dynamic_updates", "ablation_straggler",
+    "ablation_partitioning_cost",
+    "ablation_sender_side_aggregation",
+]

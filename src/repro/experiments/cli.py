@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table4
+    python -m repro figure2 --scale quick
+    python -m repro all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import ExperimentContext
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment",
+                        help="experiment id (e.g. table4, figure2), "
+                             "'list' or 'all'")
+    parser.add_argument("--scale", choices=("quick", "default", "large"),
+                        default=None,
+                        help="dataset scale profile (default: $REPRO_SCALE "
+                             "or 'default')")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    ctx = ExperimentContext(scale=args.scale)
+    for name in names:
+        started = time.time()
+        report = EXPERIMENTS[name](ctx)
+        elapsed = time.time() - started
+        print(report.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

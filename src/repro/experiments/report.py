@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment entry point returns an :class:`ExperimentReport`
+containing one or more :class:`Table` objects — the textual equivalent of
+the paper's tables and figure panels — plus free-form notes stating which
+paper-shape checks the run satisfies.  ``render()`` produces the exact
+text the CLI and the benchmark harness print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A simple aligned text table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for col, cell in enumerate(row):
+                widths[col] = max(widths[col], len(cell))
+        lines = [self.title]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """The output of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: Machine-readable payload for tests and downstream analysis.
+    data: dict = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            parts.append(table.render())
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,33 @@
+"""Graph substrate: compact graphs, streams, generators, analysis, IO."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import Graph
+from repro.graph.views import (
+    degree_filtered,
+    largest_component,
+    simplified,
+    symmetrized,
+)
+from repro.graph.stream import (
+    STREAM_ORDERS,
+    EdgeArrival,
+    EdgeStream,
+    VertexArrival,
+    VertexStream,
+    vertex_order,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "VertexStream",
+    "EdgeStream",
+    "VertexArrival",
+    "EdgeArrival",
+    "vertex_order",
+    "STREAM_ORDERS",
+    "simplified",
+    "symmetrized",
+    "largest_component",
+    "degree_filtered",
+]

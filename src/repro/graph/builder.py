@@ -1,0 +1,98 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` accumulates edges (growing numpy buffers) and
+produces an immutable :class:`~repro.graph.digraph.Graph`.  It is the
+entry point for readers, generators and tests that assemble graphs edge by
+edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.digraph import Graph
+
+
+class GraphBuilder:
+    """Accumulate edges and build a :class:`Graph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Optional fixed vertex count.  When omitted, the vertex count is
+        ``max endpoint + 1`` at build time.
+    allow_self_loops:
+        If ``False`` (default), self loops are silently dropped — the SGP
+        literature (and the paper's datasets) work on loop-free graphs.
+    dedup:
+        If ``True``, duplicate ``(src, dst)`` pairs are removed at build
+        time, keeping the first occurrence order-stably.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self, num_vertices: int | None = None, *,
+                 allow_self_loops: bool = False, dedup: bool = False):
+        self._fixed_n = num_vertices
+        self._allow_self_loops = allow_self_loops
+        self._dedup = dedup
+        self._src = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._dst = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow(self, needed: int):
+        capacity = self._src.size
+        if self._size + needed <= capacity:
+            return
+        new_capacity = max(capacity * 2, self._size + needed)
+        self._src = np.resize(self._src, new_capacity)
+        self._dst = np.resize(self._dst, new_capacity)
+
+    def add_edge(self, u: int, v: int) -> "GraphBuilder":
+        """Append one directed edge ``u -> v``; returns self for chaining."""
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"negative vertex id in edge ({u}, {v})")
+        if u == v and not self._allow_self_loops:
+            return self
+        self._grow(1)
+        self._src[self._size] = u
+        self._dst[self._size] = v
+        self._size += 1
+        return self
+
+    def add_edges(self, edges) -> "GraphBuilder":
+        """Append many edges from an iterable of pairs or an ``(m, 2)`` array."""
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                         dtype=np.int64)
+        if arr.size == 0:
+            return self
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphFormatError("edges must be an iterable of (src, dst) pairs")
+        if arr.min() < 0:
+            raise GraphFormatError("negative vertex id in edge batch")
+        if not self._allow_self_loops:
+            arr = arr[arr[:, 0] != arr[:, 1]]
+        self._grow(arr.shape[0])
+        self._src[self._size:self._size + arr.shape[0]] = arr[:, 0]
+        self._dst[self._size:self._size + arr.shape[0]] = arr[:, 1]
+        self._size += arr.shape[0]
+        return self
+
+    def build(self, name: str = "graph") -> Graph:
+        """Freeze the accumulated edges into an immutable :class:`Graph`."""
+        src = self._src[:self._size].copy()
+        dst = self._dst[:self._size].copy()
+        if self._dedup and src.size:
+            keys = src * (max(int(dst.max()), int(src.max())) + 1) + dst
+            _, first = np.unique(keys, return_index=True)
+            first.sort()
+            src, dst = src[first], dst[first]
+        if self._fixed_n is not None:
+            n = self._fixed_n
+        else:
+            n = int(max(src.max(), dst.max())) + 1 if src.size else 0
+        return Graph(n, src, dst, name=name)

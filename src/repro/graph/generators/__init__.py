@@ -1,0 +1,31 @@
+"""Synthetic dataset generators standing in for the paper's datasets."""
+
+from repro.graph.generators.basic import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators.ldbc import ldbc_like, social_network
+from repro.graph.generators.powerlaw import preferential_attachment, twitter_like
+from repro.graph.generators.rmat import rmat, web_like
+from repro.graph.generators.road import road_grid, road_like
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "erdos_renyi",
+    "preferential_attachment",
+    "twitter_like",
+    "rmat",
+    "web_like",
+    "road_grid",
+    "road_like",
+    "social_network",
+    "ldbc_like",
+]

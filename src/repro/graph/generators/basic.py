@@ -1,0 +1,68 @@
+"""Elementary graph generators used as fixtures and edge cases.
+
+These are deliberately simple, exact constructions (no randomness except
+Erdős–Rényi) so tests can assert closed-form properties against them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import Graph
+from repro.rng import make_rng
+
+
+def empty_graph(num_vertices: int = 0) -> Graph:
+    """A graph with ``num_vertices`` vertices and no edges."""
+    return Graph(num_vertices, np.empty(0, np.int64), np.empty(0, np.int64),
+                 name=f"empty-{num_vertices}")
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """Directed path ``0 -> 1 -> ... -> n-1``."""
+    if num_vertices < 0:
+        raise ConfigurationError("num_vertices must be >= 0")
+    src = np.arange(max(num_vertices - 1, 0), dtype=np.int64)
+    return Graph(num_vertices, src, src + 1, name=f"path-{num_vertices}")
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """Directed cycle over ``num_vertices`` vertices."""
+    if num_vertices < 1:
+        raise ConfigurationError("cycle needs at least one vertex")
+    src = np.arange(num_vertices, dtype=np.int64)
+    dst = (src + 1) % num_vertices
+    return Graph(num_vertices, src, dst, name=f"cycle-{num_vertices}")
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Star: vertex 0 points to ``1..num_leaves`` — the extreme hub case
+    that separates degree-aware vertex-cut algorithms from edge-cut ones."""
+    if num_leaves < 0:
+        raise ConfigurationError("num_leaves must be >= 0")
+    src = np.zeros(num_leaves, dtype=np.int64)
+    dst = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return Graph(num_leaves + 1, src, dst, name=f"star-{num_leaves}")
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """Complete directed graph (both directions, no self loops)."""
+    if num_vertices < 0:
+        raise ConfigurationError("num_vertices must be >= 0")
+    grid_u, grid_v = np.meshgrid(np.arange(num_vertices), np.arange(num_vertices))
+    mask = grid_u != grid_v
+    return Graph(num_vertices, grid_u[mask].astype(np.int64),
+                 grid_v[mask].astype(np.int64), name=f"complete-{num_vertices}")
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed=None) -> Graph:
+    """Uniform random directed graph with exactly ``num_edges`` edges
+    (self loops excluded, duplicates allowed — it is a multigraph)."""
+    if num_vertices < 2 and num_edges > 0:
+        raise ConfigurationError("need >= 2 vertices to place loop-free edges")
+    rng = make_rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    offset = rng.integers(1, num_vertices, size=num_edges, dtype=np.int64)
+    dst = (src + offset) % num_vertices
+    return Graph(num_vertices, src, dst, name=f"er-{num_vertices}-{num_edges}")

@@ -1,0 +1,126 @@
+"""LDBC-SNB-like social friendship graph generator.
+
+The paper's online-query experiments run on the friendship subgraph of the
+LDBC Social Network Benchmark (persons + ``knows`` edges): a heavy-tailed,
+community-structured graph.  We reproduce that structure with a
+community-aware Chung–Lu model: vertices get Zipf-sized communities and
+lognormal expected degrees; edges pick both endpoints proportionally to
+expected degree, staying inside the source's community with probability
+``homophily``.  This preserves the two properties the online experiments
+exercise — degree skew (hotspot queries) and community locality (what
+LDG/FENNEL/METIS exploit to beat hashing on edge-cut ratio).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import Graph
+from repro.rng import make_rng
+
+
+def _zipf_community_sizes(num_vertices: int, num_communities: int,
+                          skew: float, rng: np.random.Generator) -> np.ndarray:
+    """Community id per vertex; community sizes follow a Zipf profile."""
+    ranks = np.arange(1, num_communities + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    communities = rng.choice(num_communities, size=num_vertices, p=weights)
+    return communities.astype(np.int64)
+
+
+def social_network(
+    num_vertices: int,
+    avg_degree: float = 20.0,
+    *,
+    num_communities: int | None = None,
+    homophily: float = 0.8,
+    community_skew: float = 1.1,
+    degree_sigma: float = 1.0,
+    seed=None,
+    name: str = "social",
+) -> Graph:
+    """Community-structured Chung–Lu social graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of persons.
+    avg_degree:
+        Mean number of (directed) ``knows`` edges per person.  LDBC stores
+        friendship in both directions; so do we — each undirected
+        friendship contributes two directed edges, and ``avg_degree``
+        counts directed edges.
+    num_communities:
+        Number of planted communities (default ``~ sqrt(n)/2``).
+    homophily:
+        Probability that an edge's target is drawn from the source's own
+        community.
+    community_skew:
+        Zipf exponent of community sizes (larger = a few huge communities).
+    degree_sigma:
+        Lognormal sigma of expected degrees (larger = heavier tail).
+    """
+    if num_vertices < 2:
+        raise ConfigurationError("social network needs >= 2 vertices")
+    if not 0.0 <= homophily <= 1.0:
+        raise ConfigurationError("homophily must lie in [0, 1]")
+    if avg_degree <= 0:
+        raise ConfigurationError("avg_degree must be positive")
+    rng = make_rng(seed)
+    if num_communities is None:
+        num_communities = max(2, int(np.sqrt(num_vertices) / 2))
+
+    community = _zipf_community_sizes(num_vertices, num_communities,
+                                      community_skew, rng)
+    # Lognormal expected degrees, normalised to the requested mean.
+    weights = rng.lognormal(mean=0.0, sigma=degree_sigma, size=num_vertices)
+    weights *= avg_degree / weights.mean()
+
+    # Number of undirected friendships to sample.
+    num_friendships = int(round(num_vertices * avg_degree / 2.0))
+
+    # Pre-compute, per community, the member list and its weight profile.
+    order = np.argsort(community, kind="stable")
+    sorted_comm = community[order]
+    boundaries = np.searchsorted(sorted_comm, np.arange(num_communities + 1))
+    prob_global = weights / weights.sum()
+
+    # Source endpoints: ∝ weight globally.
+    u = rng.choice(num_vertices, size=num_friendships, p=prob_global)
+    v = np.empty(num_friendships, dtype=np.int64)
+    local_mask = rng.random(num_friendships) < homophily
+
+    # Global (non-homophilous) targets.
+    n_global = int((~local_mask).sum())
+    if n_global:
+        v[~local_mask] = rng.choice(num_vertices, size=n_global, p=prob_global)
+
+    # Local targets: weighted draw within the source's community.
+    local_sources = u[local_mask]
+    if local_sources.size:
+        local_targets = np.empty(local_sources.size, dtype=np.int64)
+        source_comms = community[local_sources]
+        for comm in np.unique(source_comms):
+            members = order[boundaries[comm]:boundaries[comm + 1]]
+            member_w = weights[members]
+            member_p = member_w / member_w.sum()
+            sel = source_comms == comm
+            local_targets[sel] = rng.choice(members, size=int(sel.sum()),
+                                            p=member_p)
+        v[local_mask] = local_targets
+
+    keep = u != v
+    u, v = u[keep], v[keep]
+    # Friendship is symmetric: store both directions like LDBC's knows.
+    src = np.concatenate([u, v]).astype(np.int64)
+    dst = np.concatenate([v, u]).astype(np.int64)
+    return Graph(num_vertices, src, dst, name=name)
+
+
+def ldbc_like(num_vertices: int = 20_000, avg_degree: float = 24.0,
+              seed=None) -> Graph:
+    """The repo's stand-in for the LDBC SNB SF-1000 friendship graph."""
+    return social_network(num_vertices, avg_degree, homophily=0.8,
+                          degree_sigma=1.0, seed=seed, name="ldbc-like")

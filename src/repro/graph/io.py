@@ -1,0 +1,130 @@
+"""Graph serialisation: edge-list and adjacency-list text formats.
+
+Mirrors the two stream input formats of Section 4 of the paper:
+
+* **edge list** — one ``src dst`` pair per line (the edge-stream
+  serialisation; what DBH/HDRF-class algorithms ingest);
+* **adjacency list** — one ``vertex n1 n2 ...`` line per vertex (the
+  vertex-stream serialisation; what LDG/FENNEL-class algorithms ingest).
+
+Both readers accept ``#``-prefixed comment lines and gzip-compressed files
+(by extension).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import Graph
+
+
+def _open_text(path, mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def write_edge_list(graph: Graph, path) -> None:
+    """Write *graph* as a ``src dst`` edge list (one edge per line)."""
+    with _open_text(path, "w") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_edge_list(path, num_vertices: int | None = None,
+                   name: str | None = None) -> Graph:
+    """Read an edge list written by :func:`write_edge_list` (or any
+    whitespace-separated pair file)."""
+    builder = GraphBuilder(num_vertices=num_vertices, allow_self_loops=True)
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{line_no}: expected 'src dst'")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_no}: non-integer endpoint"
+                ) from exc
+            builder.add_edge(u, v)
+    return builder.build(name=name or Path(path).stem)
+
+
+def write_adjacency_list(graph: Graph, path) -> None:
+    """Write *graph* as out-adjacency lists: ``vertex n1 n2 ...``."""
+    with _open_text(path, "w") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, "
+                     f"{graph.num_edges} edges\n")
+        for u in range(graph.num_vertices):
+            nbrs = " ".join(str(v) for v in graph.out_neighbors(u).tolist())
+            handle.write(f"{u} {nbrs}\n".rstrip() + "\n")
+
+
+def read_adjacency_list(path, name: str | None = None) -> Graph:
+    """Read an adjacency list written by :func:`write_adjacency_list`."""
+    builder = GraphBuilder(allow_self_loops=True)
+    max_vertex = -1
+    with _open_text(path, "r") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            try:
+                ids = [int(p) for p in parts]
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_no}: non-integer vertex id"
+                ) from exc
+            u, nbrs = ids[0], ids[1:]
+            max_vertex = max(max_vertex, u, *nbrs) if nbrs else max(max_vertex, u)
+            for v in nbrs:
+                builder.add_edge(u, v)
+    graph = builder.build(name=name or Path(path).stem)
+    if graph.num_vertices <= max_vertex:
+        # Isolated trailing vertices: rebuild with the right vertex count.
+        graph = Graph(max_vertex + 1, graph.src.copy(), graph.dst.copy(),
+                      name=graph.name)
+    return graph
+
+
+def stream_edge_list(path) -> Iterator[tuple[int, int]]:
+    """Lazily yield ``(src, dst)`` pairs from an edge-list file.
+
+    This is the "truly streaming" entry point: an
+    :class:`~repro.graph.stream.EdgeArrival` sequence can be built from it
+    without ever materialising the graph.
+    """
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            yield int(parts[0]), int(parts[1])
+
+
+def save_npz(graph: Graph, path) -> None:
+    """Binary save (numpy ``.npz``) — fast cache format for experiments."""
+    np.savez_compressed(path, n=graph.num_vertices, src=graph.src,
+                        dst=graph.dst, name=graph.name)
+
+
+def load_npz(path) -> Graph:
+    """Load a graph written by :func:`save_npz`."""
+    data = np.load(path, allow_pickle=False)
+    return Graph(int(data["n"]), data["src"], data["dst"],
+                 name=str(data["name"]))

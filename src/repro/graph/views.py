@@ -1,0 +1,74 @@
+"""Derived graph views: common preprocessing before partitioning.
+
+Real pipelines rarely partition the raw crawl: they deduplicate,
+symmetrise, drop the periphery, or restrict to the giant component first.
+These helpers produce new :class:`~repro.graph.digraph.Graph` objects
+(inputs are never modified).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.analysis import weakly_connected_components
+from repro.graph.digraph import Graph
+
+
+def simplified(graph: Graph) -> Graph:
+    """Drop parallel edges and self loops (a simple directed graph)."""
+    src, dst = graph.src, graph.dst
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if src.size:
+        keys = src * graph.num_vertices + dst
+        _, first = np.unique(keys, return_index=True)
+        first.sort()
+        src, dst = src[first], dst[first]
+    return Graph(graph.num_vertices, src, dst, name=f"{graph.name}-simple")
+
+
+def symmetrized(graph: Graph) -> Graph:
+    """Add the reverse of every edge (deduplicated): the undirected view
+    many partitioners conceptually operate on, materialised."""
+    src = np.concatenate([graph.src, graph.dst])
+    dst = np.concatenate([graph.dst, graph.src])
+    merged = Graph(graph.num_vertices, src, dst, name=graph.name)
+    result = simplified(merged)
+    return result.with_name(f"{graph.name}-sym")
+
+
+def largest_component(graph: Graph) -> Graph:
+    """Restrict to the largest weakly connected component.
+
+    Vertices are re-labelled densely (0..n'-1) in ascending original-id
+    order; the returned graph's ``name`` records the operation.
+    """
+    if graph.num_vertices == 0:
+        return graph.with_name(f"{graph.name}-lcc")
+    labels = weakly_connected_components(graph)
+    counts = np.bincount(labels)
+    winner = int(np.argmax(counts))
+    keep_vertices = np.flatnonzero(labels == winner)
+    mapping = np.full(graph.num_vertices, -1, dtype=np.int64)
+    mapping[keep_vertices] = np.arange(keep_vertices.size)
+    keep_edges = (labels[graph.src] == winner)
+    src = mapping[graph.src[keep_edges]]
+    dst = mapping[graph.dst[keep_edges]]
+    return Graph(keep_vertices.size, src, dst, name=f"{graph.name}-lcc")
+
+
+def degree_filtered(graph: Graph, min_degree: int = 1) -> Graph:
+    """Drop vertices with total degree below ``min_degree`` (and their
+    edges), relabelling densely — the standard periphery trim."""
+    if min_degree < 0:
+        raise ConfigurationError("min_degree must be >= 0")
+    keep = graph.degree >= min_degree
+    keep_vertices = np.flatnonzero(keep)
+    mapping = np.full(graph.num_vertices, -1, dtype=np.int64)
+    mapping[keep_vertices] = np.arange(keep_vertices.size)
+    keep_edges = keep[graph.src] & keep[graph.dst]
+    src = mapping[graph.src[keep_edges]]
+    dst = mapping[graph.dst[keep_edges]]
+    return Graph(keep_vertices.size, src, dst,
+                 name=f"{graph.name}-deg{min_degree}")

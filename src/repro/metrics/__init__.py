@@ -1,0 +1,33 @@
+"""Structural and runtime metrics for partitionings and workload runs."""
+
+from repro.metrics.quality import (
+    communication_cost,
+    edge_cut_ratio,
+    load_imbalance,
+    partition_balance,
+    replication_factor,
+    vertex_replica_counts,
+)
+from repro.metrics.runtime import (
+    DistributionSummary,
+    LatencySummary,
+    latency_summary,
+    percentile,
+    relative_standard_deviation,
+    summarize,
+)
+
+__all__ = [
+    "edge_cut_ratio",
+    "replication_factor",
+    "vertex_replica_counts",
+    "load_imbalance",
+    "partition_balance",
+    "communication_cost",
+    "DistributionSummary",
+    "summarize",
+    "relative_standard_deviation",
+    "percentile",
+    "LatencySummary",
+    "latency_summary",
+]

@@ -1,0 +1,93 @@
+"""Runtime-metric summaries used across the paper's figures.
+
+The paper's box-line plots (Figures 4, 7, 15) report min / p25 / median /
+p75 / max of a per-machine distribution; Figure 8 reports the relative
+standard deviation of the load distribution; Table 5 reports mean and
+p99 latency.  This module provides those summaries as plain dataclasses
+that the report renderer can print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary plus mean — one 'box line' of Figures 4/7/15."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+
+    @property
+    def spread(self) -> float:
+        """max - min: the visual height of the paper's box lines."""
+        return self.maximum - self.minimum
+
+    @property
+    def max_over_mean(self) -> float:
+        """Straggler factor: the slowest machine relative to the average."""
+        return self.maximum / self.mean if self.mean else 1.0
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.minimum, self.p25, self.median, self.p75, self.maximum)
+
+
+def summarize(values) -> DistributionSummary:
+    """Five-number summary of *values* (empty input → all zeros)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return DistributionSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    q = np.percentile(arr, [0, 25, 50, 75, 100])
+    return DistributionSummary(
+        minimum=float(q[0]), p25=float(q[1]), median=float(q[2]),
+        p75=float(q[3]), maximum=float(q[4]), mean=float(arr.mean()),
+    )
+
+
+def relative_standard_deviation(values) -> float:
+    """RSD = std / mean (Figure 8's load-distribution metric), in [0, ∞)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)
+
+
+def percentile(values, q: float) -> float:
+    """The q-th percentile (Table 5 uses q=99 for tail latency)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean and tail latency of a query workload run (Table 5 row)."""
+
+    mean: float
+    p50: float
+    p99: float
+    count: int
+
+
+def latency_summary(latencies) -> LatencySummary:
+    """Summarise per-query latencies into a Table-5-shaped record."""
+    arr = np.asarray(latencies, dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary(0.0, 0.0, 0.0, 0)
+    return LatencySummary(
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p99=float(np.percentile(arr, 99)),
+        count=int(arr.size),
+    )

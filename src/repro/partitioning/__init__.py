@@ -1,0 +1,109 @@
+"""Streaming graph partitioning algorithms (the paper's subject matter)."""
+
+from repro.partitioning.base import (
+    UNASSIGNED,
+    EdgePartition,
+    EdgePartitioner,
+    VertexPartition,
+    VertexPartitioner,
+)
+from repro.partitioning.conversion import (
+    edge_cut_to_edge_partition,
+    expected_replication_factor,
+)
+from repro.partitioning.decision import Recommendation, recommend, recommend_for_graph
+from repro.partitioning.dynamic import IncrementalEdgeCutPartitioner, hermes_refine
+from repro.partitioning.edge_cut.fennel import FennelPartitioner
+from repro.partitioning.edge_cut.hashing import HashVertexPartitioner
+from repro.partitioning.edge_cut.iogp import IogpPartitioner
+from repro.partitioning.edge_cut.leopard import LeopardPartitioner
+from repro.partitioning.edge_cut.ldg import LdgPartitioner
+from repro.partitioning.edge_cut.restreaming import (
+    RestreamingFennelPartitioner,
+    RestreamingLdgPartitioner,
+)
+from repro.partitioning.io import (
+    load_partition_npz,
+    read_partition_tsv,
+    save_partition_npz,
+    write_partition_tsv,
+)
+from repro.partitioning.heterogeneous import (
+    HeterogeneousFennelPartitioner,
+    HeterogeneousLdgPartitioner,
+)
+from repro.partitioning.hybrid.ginger import GingerPartitioner
+from repro.partitioning.hybrid.hybrid_hash import HybridHashPartitioner
+from repro.partitioning.multilevel import MultilevelPartitioner, multilevel_partition
+from repro.partitioning.taper import (
+    inter_partition_traversals,
+    taper_refine,
+    traversal_weights_from_plans,
+)
+from repro.partitioning.registry import (
+    CUT_MODELS,
+    OFFLINE_ALGORITHMS,
+    ONLINE_ALGORITHMS,
+    available_algorithms,
+    canonical_name,
+    cut_model,
+    make_partitioner,
+)
+from repro.partitioning.vertex_cut.dbh import DbhPartitioner
+from repro.partitioning.vertex_cut.greedy import GreedyVertexCutPartitioner
+from repro.partitioning.vertex_cut.grid import GridPartitioner
+from repro.partitioning.vertex_cut.hashing import HashEdgePartitioner
+from repro.partitioning.vertex_cut.hdrf import HdrfPartitioner
+from repro.partitioning.workload_aware import (
+    WeightedLdgPartitioner,
+    workload_aware_partition,
+)
+
+__all__ = [
+    "UNASSIGNED",
+    "VertexPartition",
+    "EdgePartition",
+    "VertexPartitioner",
+    "EdgePartitioner",
+    "HashVertexPartitioner",
+    "LdgPartitioner",
+    "FennelPartitioner",
+    "RestreamingLdgPartitioner",
+    "RestreamingFennelPartitioner",
+    "HashEdgePartitioner",
+    "DbhPartitioner",
+    "GridPartitioner",
+    "GreedyVertexCutPartitioner",
+    "HdrfPartitioner",
+    "HybridHashPartitioner",
+    "GingerPartitioner",
+    "MultilevelPartitioner",
+    "multilevel_partition",
+    "workload_aware_partition",
+    "WeightedLdgPartitioner",
+    "edge_cut_to_edge_partition",
+    "expected_replication_factor",
+    "make_partitioner",
+    "canonical_name",
+    "cut_model",
+    "available_algorithms",
+    "CUT_MODELS",
+    "OFFLINE_ALGORITHMS",
+    "ONLINE_ALGORITHMS",
+    "recommend",
+    "recommend_for_graph",
+    "Recommendation",
+    "HeterogeneousLdgPartitioner",
+    "HeterogeneousFennelPartitioner",
+    "IncrementalEdgeCutPartitioner",
+    "hermes_refine",
+    "IogpPartitioner",
+    "LeopardPartitioner",
+    "taper_refine",
+    "traversal_weights_from_plans",
+    "inter_partition_traversals",
+    "write_partition_tsv",
+    "read_partition_tsv",
+    "save_partition_npz",
+    "load_partition_npz",
+]

@@ -1,0 +1,255 @@
+"""Partitioning result types and algorithm base classes.
+
+The paper (Section 3) frames every SGP algorithm as a rule that places each
+arriving stream element into the partition maximising an objective
+``h(a_i, P^t)`` subject to a balance slack ``β``.  This module provides:
+
+* :class:`VertexPartition` — a vertex-disjoint (edge-cut) result;
+* :class:`EdgePartition` — an edge-disjoint (vertex-cut) result;
+* :class:`VertexPartitioner` / :class:`EdgePartitioner` — base classes
+  giving every algorithm the same two entry points:
+
+  - ``partition_stream(stream, k, ...)`` — the true streaming interface
+    (single pass over arrivals, bounded state);
+  - ``partition(graph, k, order=..., seed=...)`` — convenience wrapper that
+    builds the matching stream over an in-memory graph, which is how the
+    experimental harness drives all algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.graph.digraph import Graph
+from repro.graph.stream import EdgeStream, VertexStream
+
+UNASSIGNED = -1
+
+
+def check_num_partitions(k: int) -> int:
+    """Validate a partition count."""
+    if not isinstance(k, (int, np.integer)) or k < 1:
+        raise ConfigurationError(f"number of partitions must be a positive int, got {k!r}")
+    return int(k)
+
+
+class VertexPartition:
+    """A vertex-disjoint partitioning (edge-cut model, Section 4.1).
+
+    ``assignment[u]`` is the partition of vertex ``u`` (``UNASSIGNED`` for
+    vertices never seen, which a complete run never produces).
+    """
+
+    cut_model = "edge-cut"
+
+    def __init__(self, num_partitions: int, assignment, algorithm: str = "?"):
+        self.num_partitions = check_num_partitions(num_partitions)
+        self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
+        if self.assignment.ndim != 1:
+            raise PartitioningError("assignment must be a 1-D array")
+        valid = self.assignment[self.assignment != UNASSIGNED]
+        if valid.size and (valid.min() < 0 or valid.max() >= self.num_partitions):
+            raise PartitioningError("assignment contains out-of-range partition ids")
+        self.algorithm = algorithm
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.assignment.size)
+
+    def sizes(self) -> np.ndarray:
+        """Number of vertices per partition (w(P_i) of Eq. 3)."""
+        assigned = self.assignment[self.assignment != UNASSIGNED]
+        return np.bincount(assigned, minlength=self.num_partitions).astype(np.int64)
+
+    def of(self, vertex: int) -> int:
+        """Partition of *vertex*; raises if the vertex was never assigned."""
+        part = int(self.assignment[vertex])
+        if part == UNASSIGNED:
+            raise PartitioningError(f"vertex {vertex} was never assigned")
+        return part
+
+    def is_complete(self) -> bool:
+        """True when every vertex has a partition."""
+        return bool(np.all(self.assignment != UNASSIGNED))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VertexPartition(algorithm={self.algorithm!r}, "
+                f"k={self.num_partitions}, n={self.num_vertices})")
+
+
+class EdgePartition:
+    """An edge-disjoint partitioning (vertex-cut model, Section 4.2).
+
+    ``assignment[eid]`` is the partition of edge ``eid`` (edge ids are the
+    positions in the source graph's edge arrays).  ``masters`` optionally
+    records a designated master partition per vertex — hybrid-cut
+    algorithms produce it; for everyone else the analytics placement layer
+    picks masters itself.
+    """
+
+    cut_model = "vertex-cut"
+
+    def __init__(self, num_partitions: int, assignment, algorithm: str = "?",
+                 masters=None):
+        self.num_partitions = check_num_partitions(num_partitions)
+        self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
+        if self.assignment.ndim != 1:
+            raise PartitioningError("assignment must be a 1-D array")
+        valid = self.assignment[self.assignment != UNASSIGNED]
+        if valid.size and (valid.min() < 0 or valid.max() >= self.num_partitions):
+            raise PartitioningError("assignment contains out-of-range partition ids")
+        self.algorithm = algorithm
+        self.masters = (np.ascontiguousarray(masters, dtype=np.int32)
+                        if masters is not None else None)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.assignment.size)
+
+    def sizes(self) -> np.ndarray:
+        """Number of edges per partition (w(P_i) of Eq. 6)."""
+        assigned = self.assignment[self.assignment != UNASSIGNED]
+        return np.bincount(assigned, minlength=self.num_partitions).astype(np.int64)
+
+    def of(self, edge_id: int) -> int:
+        """Partition of *edge_id*; raises if the edge was never assigned."""
+        part = int(self.assignment[edge_id])
+        if part == UNASSIGNED:
+            raise PartitioningError(f"edge {edge_id} was never assigned")
+        return part
+
+    def is_complete(self) -> bool:
+        return bool(np.all(self.assignment != UNASSIGNED))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EdgePartition(algorithm={self.algorithm!r}, "
+                f"k={self.num_partitions}, m={self.num_edges})")
+
+
+class VertexPartitioner(ABC):
+    """Base class for edge-cut SGP algorithms consuming vertex streams."""
+
+    #: Registry name (the paper's acronym), set by subclasses.
+    name = "?"
+
+    @abstractmethod
+    def partition_stream(self, stream, num_partitions: int, *,
+                         num_vertices: int) -> VertexPartition:
+        """Single pass over a vertex stream; returns the partitioning.
+
+        ``num_vertices`` is required because the balance terms of LDG and
+        FENNEL need the partition capacity ``C = β|V|/k`` — exactly the
+        synopsis streaming systems know ahead of a bulk load.
+        """
+
+    def partition(self, graph: Graph, num_partitions: int, *,
+                  order: str = "random", seed=None) -> VertexPartition:
+        """Partition an in-memory graph by streaming it in *order*."""
+        stream = VertexStream(graph, order=order, seed=seed)
+        return self.partition_stream(stream, num_partitions,
+                                     num_vertices=graph.num_vertices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class EdgePartitioner(ABC):
+    """Base class for vertex-cut / hybrid SGP algorithms on edge streams."""
+
+    name = "?"
+
+    @abstractmethod
+    def partition_stream(self, stream, num_partitions: int, *,
+                         num_vertices: int, num_edges: int) -> EdgePartition:
+        """Single pass over an edge stream; returns the partitioning."""
+
+    def partition(self, graph: Graph, num_partitions: int, *,
+                  order: str = "random", seed=None) -> EdgePartition:
+        """Partition an in-memory graph by streaming its edges in *order*."""
+        stream = EdgeStream(graph, order=order, seed=seed)
+        return self.partition_stream(stream, num_partitions,
+                                     num_vertices=graph.num_vertices,
+                                     num_edges=graph.num_edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def iter_edge_arrivals(stream):
+    """Yield ``(edge_id, src, dst)`` tuples from an edge stream, cheaply.
+
+    Graph-backed :class:`~repro.graph.stream.EdgeStream` objects expose
+    their permutation, letting us iterate raw arrays and skip per-arrival
+    object construction — a large constant-factor win for the sequential
+    greedy algorithms.  Any other iterable of
+    :class:`~repro.graph.stream.EdgeArrival`-shaped elements works too.
+    """
+    graph = getattr(stream, "graph", None)
+    permutation = getattr(stream, "permutation", None)
+    if graph is not None and permutation is not None:
+        src = graph.src[permutation]
+        dst = graph.dst[permutation]
+        yield from zip(permutation.tolist(), src.tolist(), dst.tolist())
+    else:
+        for arrival in stream:
+            edge_id, src, dst = arrival
+            yield int(edge_id), int(src), int(dst)
+
+
+def edge_stream_arrays(stream):
+    """Materialise an edge stream as ``(edge_ids, src, dst)`` arrays.
+
+    Used by the *stateless* hash partitioners (VCR, DBH-exact, HCR), whose
+    placement of one edge never depends on another — bulk evaluation is
+    semantically identical to element-at-a-time processing.
+    """
+    graph = getattr(stream, "graph", None)
+    permutation = getattr(stream, "permutation", None)
+    if graph is not None and permutation is not None:
+        return (np.asarray(permutation, dtype=np.int64),
+                graph.src[permutation], graph.dst[permutation])
+    ids, srcs, dsts = [], [], []
+    for arrival in stream:
+        edge_id, src, dst = arrival
+        ids.append(edge_id)
+        srcs.append(src)
+        dsts.append(dst)
+    return (np.asarray(ids, dtype=np.int64), np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64))
+
+
+def argmin_with_ties(values: np.ndarray, rng=None) -> int:
+    """Index of the minimum, breaking ties uniformly at random when *rng*
+    is given (deterministically taking the first otherwise)."""
+    values = np.asarray(values)
+    best = values.min()
+    ties = np.flatnonzero(values == best)
+    if ties.size == 1 or rng is None:
+        return int(ties[0])
+    return int(ties[rng.integers(0, ties.size)])
+
+
+def argmax_with_ties(values: np.ndarray, tie_break: np.ndarray | None = None,
+                     rng=None) -> int:
+    """Index of the maximum of *values*.
+
+    Ties are broken by the smallest *tie_break* value (typically current
+    partition load — the convention of Stanton & Kliot), then uniformly at
+    random when *rng* is given.
+    """
+    values = np.asarray(values)
+    best = values.max()
+    ties = np.flatnonzero(values == best)
+    if ties.size == 1:
+        return int(ties[0])
+    if tie_break is not None:
+        sub = np.asarray(tie_break)[ties]
+        ties = ties[sub == sub.min()]
+        if ties.size == 1:
+            return int(ties[0])
+    if rng is None:
+        return int(ties[0])
+    return int(ties[rng.integers(0, ties.size)])

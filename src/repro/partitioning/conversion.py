@@ -1,0 +1,70 @@
+"""Cut-model conversion (Appendix B of the paper).
+
+PowerLyra stores graphs edge-disjointly, so evaluating *edge-cut*
+algorithms on it requires deriving an equivalent edge-disjoint placement:
+"for a given vertex-to-partition mapping ... we create an equivalent
+edge-disjoint (vertex-cut) partitioning by assigning all out-edges of
+vertex u to partition P_i".  Mirrors then arise only for *target* vertices,
+and the replication factor of the derived placement equals the edge-cut
+communication cost under sender-side aggregation (Appendix B's theorem,
+reproduced in :func:`expected_replication_factor`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.digraph import Graph
+from repro.partitioning.base import EdgePartition, VertexPartition
+
+
+def edge_cut_to_edge_partition(graph: Graph,
+                               partition: VertexPartition) -> EdgePartition:
+    """Derive the Appendix-B edge-disjoint placement from an edge-cut one.
+
+    Every edge follows its *source* vertex; each vertex's master is its
+    edge-cut partition, so the derived :class:`EdgePartition` carries
+    ``masters`` and the analytics engine can reproduce PowerLyra's
+    edge-cut emulation exactly.
+    """
+    if partition.num_vertices != graph.num_vertices:
+        raise PartitioningError(
+            f"partition covers {partition.num_vertices} vertices but graph "
+            f"has {graph.num_vertices}"
+        )
+    if not partition.is_complete():
+        raise PartitioningError("cannot convert an incomplete partitioning")
+    assignment = partition.assignment[graph.src].astype(np.int32)
+    return EdgePartition(
+        partition.num_partitions,
+        assignment,
+        algorithm=partition.algorithm,
+        masters=partition.assignment.copy(),
+    )
+
+
+def expected_replication_factor(in_degrees: np.ndarray, num_partitions: int) -> float:
+    """Appendix B's closed form for uniform-random out-edge grouping.
+
+    With every vertex hashed uniformly and out-edges following their
+    source, a vertex ``v`` with in-degree ``d`` receives in-edges from
+    ``d`` uniformly placed sources.  Each of the ``k - 1`` non-master
+    partitions hosts at least one of them with probability
+    ``1 - (1 - 1/k)^d``, so (master included)
+
+        E[|A(v)|] = 1 + (k - 1) · (1 - (1 - 1/k)^d)
+
+    and the expected replication factor is the mean over vertices — the
+    ``n(k-1)(1 - ψ(d, k))`` mirror count of Appendix B, normalised per
+    vertex, plus the master.  The test suite validates hash edge-cut
+    partitioning against this formula.
+    """
+    degrees = np.asarray(in_degrees, dtype=np.float64)
+    if degrees.size == 0:
+        return 0.0
+    k = float(num_partitions)
+    if k == 1:
+        return 1.0
+    hit = 1.0 - (1.0 - 1.0 / k) ** degrees
+    return float(1.0 + (k - 1.0) * hit.mean())

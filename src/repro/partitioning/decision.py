@@ -1,0 +1,104 @@
+"""The paper's Figure 9 decision tree as an executable recommender.
+
+Figure 9 summarises the study's findings into a guide for picking an SGP
+algorithm:
+
+* **online queries** → if tail latency matters, Hashing; else, under
+  medium load with throughput as the objective, FENNEL;
+* **offline analytics** → by graph type: low-degree → FENNEL;
+  power-law → HDRF; heavy-tailed → Hybrid (Ginger).
+
+:func:`recommend` walks exactly that tree; :func:`recommend_for_graph`
+first classifies the graph with :mod:`repro.graph.analysis` and then walks
+it — which the reproduction benches use to check the recommender agrees
+with the measured winners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.graph.analysis import classify_graph
+from repro.graph.digraph import Graph
+
+WORKLOAD_KINDS = ("analytics", "online")
+OBJECTIVES = ("throughput", "latency")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A recommendation plus the decision path that produced it."""
+
+    algorithm: str
+    path: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{self.algorithm}  ({' -> '.join(self.path)})"
+
+
+def recommend(
+    workload: str,
+    *,
+    graph_type: str | None = None,
+    tail_latency_critical: bool = False,
+    load: str = "medium",
+    objective: str = "throughput",
+) -> Recommendation:
+    """Walk the Figure 9 decision tree.
+
+    Parameters
+    ----------
+    workload:
+        ``"analytics"`` (offline) or ``"online"`` (graph queries).
+    graph_type:
+        Required for analytics: ``"low-degree"``, ``"power-law"`` or
+        ``"heavy-tailed"`` (use :func:`repro.graph.analysis.classify_graph`).
+    tail_latency_critical:
+        Online branch: is p99 latency an SLO?
+    load:
+        Online branch: ``"medium"`` or ``"high"`` expected system load.
+    objective:
+        Online branch: ``"throughput"`` or ``"latency"``.
+    """
+    if workload not in WORKLOAD_KINDS:
+        raise ConfigurationError(f"workload must be one of {WORKLOAD_KINDS}")
+
+    if workload == "online":
+        path = ["workload=online"]
+        if tail_latency_critical:
+            path.append("tail latency critical")
+            return Recommendation("ecr", tuple(path))
+        path.append("tail latency not critical")
+        if load == "high":
+            # High load overloads the skewed partitions of greedy SGP
+            # (Section 6.3.2): hashing keeps the trade-off.
+            path.append("load=high")
+            return Recommendation("ecr", tuple(path))
+        path.append("load=medium")
+        if objective == "throughput":
+            path.append("objective=throughput")
+            return Recommendation("fennel", tuple(path))
+        path.append("objective=latency")
+        return Recommendation("ecr", tuple(path))
+
+    # Offline analytics branch: graph type decides.
+    if graph_type is None:
+        raise ConfigurationError("analytics recommendations need graph_type")
+    path = ["workload=analytics", f"graph={graph_type}"]
+    if graph_type == "low-degree":
+        return Recommendation("fennel", tuple(path))
+    if graph_type == "power-law":
+        return Recommendation("hdrf", tuple(path))
+    if graph_type == "heavy-tailed":
+        return Recommendation("hg", tuple(path))
+    raise ConfigurationError(
+        "graph_type must be 'low-degree', 'power-law' or 'heavy-tailed'"
+    )
+
+
+def recommend_for_graph(graph: Graph, workload: str, **kwargs) -> Recommendation:
+    """Classify *graph* and walk the tree (analytics fills graph_type)."""
+    if workload == "analytics" and "graph_type" not in kwargs:
+        kwargs["graph_type"] = classify_graph(graph)
+    return recommend(workload, **kwargs)

@@ -1,0 +1,156 @@
+"""Dynamic partitioning: incremental placement and Hermes-style refinement.
+
+Section 2 of the paper points at two classes of dynamic techniques this
+module implements in their simplest faithful forms:
+
+* **Incremental placement** — re-streaming algorithms "can simply be
+  streamed again starting from the previous assignment" when the graph
+  grows.  :class:`IncrementalEdgeCutPartitioner` scores *new* vertices
+  with the LDG objective against an existing partitioning, which is how a
+  bulk-loaded cluster absorbs arrivals without re-partitioning.
+
+* **Hermes-style refinement** (Nicoara et al., EDBT 2015) — "dynamic
+  refinement of an initial partitioning instead of re-partitioning the
+  whole graph".  :func:`hermes_refine` runs iterative gain-driven vertex
+  migration under a balance constraint on top of *any* edge-cut
+  partitioning, improving the cut in place.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.graph.digraph import Graph
+from repro.partitioning.base import (
+    UNASSIGNED,
+    VertexPartition,
+    argmax_with_ties,
+)
+from repro.rng import make_rng
+
+
+class IncrementalEdgeCutPartitioner:
+    """Place newly arriving vertices into an existing partitioning.
+
+    Parameters
+    ----------
+    base:
+        The current :class:`VertexPartition` (its assignment array is not
+        modified; placements accumulate in a copy).
+    balance_slack:
+        β against the *final* expected vertex count, supplied per call.
+    """
+
+    def __init__(self, base: VertexPartition, balance_slack: float = 1.1,
+                 seed=None):
+        if balance_slack < 1.0:
+            raise ConfigurationError("balance_slack (beta) must be >= 1")
+        if not base.is_complete():
+            raise PartitioningError("base partitioning must be complete")
+        self.num_partitions = base.num_partitions
+        self.balance_slack = balance_slack
+        self.seed = seed
+        self._assignment = base.assignment.copy()
+        self._sizes = base.sizes().astype(np.int64)
+
+    @property
+    def assignment(self) -> np.ndarray:
+        return self._assignment
+
+    def add_vertex(self, neighbors, rng=None) -> int:
+        """Place one new vertex given its (already-placed) neighbours.
+
+        ``neighbors`` may reference vertices that are themselves new; the
+        unplaced ones are simply ignored, exactly like a streaming pass.
+        Returns the chosen partition.
+        """
+        k = self.num_partitions
+        rng = make_rng(rng if rng is not None else self.seed)
+        total = int(self._sizes.sum()) + 1
+        capacity = max(1.0, math.ceil(self.balance_slack * total / k))
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        in_range = neighbors[neighbors < self._assignment.size]
+        placed = self._assignment[in_range]
+        placed = placed[placed != UNASSIGNED]
+        if placed.size:
+            counts = np.bincount(placed, minlength=k).astype(np.float64)
+        else:
+            counts = np.zeros(k, dtype=np.float64)
+        scores = counts * (1.0 - self._sizes / capacity)
+        target = argmax_with_ties(scores, tie_break=self._sizes, rng=rng)
+        self._assignment = np.append(self._assignment, np.int32(target))
+        self._sizes[target] += 1
+        return int(target)
+
+    def to_partition(self, algorithm: str = "ldg-incr") -> VertexPartition:
+        """Snapshot the accumulated assignment."""
+        return VertexPartition(self.num_partitions, self._assignment.copy(),
+                               algorithm=algorithm)
+
+
+def hermes_refine(
+    graph: Graph,
+    partition: VertexPartition,
+    *,
+    balance_slack: float = 1.1,
+    max_passes: int = 8,
+    seed=None,
+) -> VertexPartition:
+    """Iterative gain-driven refinement of an edge-cut partitioning.
+
+    Each pass visits boundary vertices in random order and moves a vertex
+    to the neighbouring partition with the largest positive gain (cut
+    edges saved) whenever the balance constraint permits.  Converges when
+    a pass moves nothing — typically a handful of passes.
+
+    Returns a new :class:`VertexPartition` (the input is not modified)
+    whose cut is never worse than the input's.
+    """
+    if partition.num_vertices != graph.num_vertices:
+        raise PartitioningError("partition does not cover the graph")
+    if not partition.is_complete():
+        raise PartitioningError("cannot refine an incomplete partitioning")
+    if balance_slack < 1.0:
+        raise ConfigurationError("balance_slack (beta) must be >= 1")
+    rng = make_rng(seed)
+    k = partition.num_partitions
+    assignment = partition.assignment.copy()
+    sizes = partition.sizes().astype(np.int64)
+    capacity = max(1.0, balance_slack * graph.num_vertices / k)
+
+    for _pass in range(max_passes):
+        boundary = _boundary_vertices(graph, assignment)
+        if boundary.size == 0:
+            break
+        moved = 0
+        for u in rng.permutation(boundary).tolist():
+            current = assignment[u]
+            neighbor_parts = assignment[graph.neighbors(u)]
+            gain_to = np.bincount(neighbor_parts, minlength=k).astype(np.float64)
+            internal = gain_to[current]
+            gain_to -= internal
+            gain_to[current] = 0.0
+            feasible = sizes + 1 <= capacity
+            feasible[current] = False
+            candidate = np.where(feasible, gain_to, -np.inf)
+            best = int(np.argmax(candidate))
+            if candidate[best] > 0:
+                assignment[u] = best
+                sizes[current] -= 1
+                sizes[best] += 1
+                moved += 1
+        if moved == 0:
+            break
+    return VertexPartition(k, assignment,
+                           algorithm=f"{partition.algorithm}+hermes")
+
+
+def _boundary_vertices(graph: Graph, assignment: np.ndarray) -> np.ndarray:
+    """Vertices with at least one neighbour in another partition."""
+    cross = assignment[graph.src] != assignment[graph.dst]
+    if not cross.any():
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.concatenate([graph.src[cross], graph.dst[cross]]))

@@ -1,0 +1,1 @@
+"""edge-cut streaming graph partitioning algorithms."""

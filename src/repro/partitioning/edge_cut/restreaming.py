@@ -1,0 +1,166 @@
+"""Restreaming partitioners — Nishimura & Ugander, KDD 2013.
+
+re-LDG and re-FENNEL iterate their one-pass counterparts: pass ``t`` streams
+the whole graph again, scoring each vertex against a *mixed* view of
+neighbour placements — neighbours already re-assigned in the current pass
+use their fresh assignment, everyone else uses the previous pass's.  Loads
+are the current pass's (partitions refill from empty each pass).  A handful
+of passes closes most of the quality gap to offline multilevel
+partitioning, which Table 1 of the paper records as these algorithms'
+distinguishing feature.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.partitioning.base import (
+    UNASSIGNED,
+    VertexPartition,
+    VertexPartitioner,
+    argmax_with_ties,
+    check_num_partitions,
+)
+from repro.partitioning.edge_cut.fennel import FennelPartitioner
+from repro.rng import make_rng
+
+
+class _RestreamingBase(VertexPartitioner):
+    """Shared multi-pass driver; subclasses provide the per-vertex score."""
+
+    def __init__(self, num_passes: int = 5, seed=None):
+        if num_passes < 1:
+            raise ConfigurationError("num_passes must be >= 1")
+        self.num_passes = num_passes
+        self.seed = seed
+
+    def _score(self, counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _prepare(self, k: int, num_vertices: int, num_edges: int | None):
+        """Hook for per-run parameter derivation (capacity, alpha...)."""
+
+    def partition_stream(self, stream, num_partitions: int, *,
+                         num_vertices: int,
+                         num_edges: int | None = None) -> VertexPartition:
+        k = check_num_partitions(num_partitions)
+        rng = make_rng(self.seed)
+        if num_edges is None:
+            graph = getattr(stream, "graph", None)
+            num_edges = graph.num_edges if graph is not None else None
+        self._prepare(k, num_vertices, num_edges)
+
+        previous = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+        current = previous
+        for _pass in range(self.num_passes):
+            current = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+            sizes = np.zeros(k, dtype=np.int64)
+            for vertex, neighbors in stream:
+                fresh = current[neighbors]
+                stale = previous[neighbors]
+                # Neighbours keep last known placement until restreamed.
+                view = np.where(fresh != UNASSIGNED, fresh, stale)
+                view = view[view != UNASSIGNED]
+                if view.size:
+                    counts = np.bincount(view, minlength=k).astype(np.float64)
+                else:
+                    counts = np.zeros(k, dtype=np.float64)
+                scores = self._score(counts, sizes)
+                target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+                current[vertex] = target
+                sizes[target] += 1
+            previous = current
+        return VertexPartition(k, current, algorithm=self.name)
+
+
+class RestreamingLdgPartitioner(_RestreamingBase):
+    """re-LDG: LDG's multiplicative objective, restreamed.
+
+    Table 1 of the paper marks re-LDG as the restreaming algorithm with
+    update support (a changed graph can simply be streamed again starting
+    from the previous assignment).
+    """
+
+    name = "re-ldg"
+
+    def __init__(self, num_passes: int = 5, balance_slack: float = 1.0, seed=None):
+        super().__init__(num_passes=num_passes, seed=seed)
+        if balance_slack < 1.0:
+            raise ConfigurationError("balance_slack (beta) must be >= 1")
+        self.balance_slack = balance_slack
+        self._capacity = 1.0
+
+    def _prepare(self, k, num_vertices, num_edges):
+        self._capacity = max(1.0, math.ceil(self.balance_slack * num_vertices / k))
+
+    def _score(self, counts, sizes):
+        return counts * (1.0 - sizes / self._capacity)
+
+
+class RestreamingFennelPartitioner(_RestreamingBase):
+    """re-FENNEL: FENNEL's additive objective, restreamed.
+
+    Follows the original restreaming paper in annealing α upward across
+    passes (``alpha_growth`` multiplier per pass) so later passes weigh
+    balance more heavily.
+    """
+
+    name = "re-fennel"
+
+    def __init__(self, num_passes: int = 5, gamma: float = 1.5,
+                 alpha: float | None = None, load_cap: float = 1.1,
+                 alpha_growth: float = 1.5, seed=None):
+        super().__init__(num_passes=num_passes, seed=seed)
+        self._template = FennelPartitioner(gamma=gamma, alpha=alpha,
+                                           load_cap=load_cap)
+        self.alpha_growth = alpha_growth
+        self._alpha = 0.0
+        self._capacity = 1.0
+        self._gamma = gamma
+
+    def _prepare(self, k, num_vertices, num_edges):
+        self._alpha = self._template._resolve_alpha(k, num_vertices, num_edges)
+        self._capacity = max(1.0, self._template.load_cap * num_vertices / k)
+        self._pass_alpha = self._alpha
+
+    def _score(self, counts, sizes):
+        scores = counts - self._pass_alpha * self._gamma * sizes ** (self._gamma - 1.0)
+        scores[sizes >= self._capacity] = -np.inf
+        return scores
+
+    def partition_stream(self, stream, num_partitions: int, *,
+                         num_vertices: int, num_edges: int | None = None):
+        # Wrap the base driver to anneal alpha between passes: we re-enter
+        # the parent implementation but intercept pass boundaries by
+        # running passes one at a time.
+        k = check_num_partitions(num_partitions)
+        rng = make_rng(self.seed)
+        if num_edges is None:
+            graph = getattr(stream, "graph", None)
+            num_edges = graph.num_edges if graph is not None else None
+        self._prepare(k, num_vertices, num_edges)
+
+        previous = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+        current = previous
+        for pass_index in range(self.num_passes):
+            self._pass_alpha = self._alpha * (self.alpha_growth ** pass_index)
+            current = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
+            sizes = np.zeros(k, dtype=np.int64)
+            for vertex, neighbors in stream:
+                fresh = current[neighbors]
+                stale = previous[neighbors]
+                view = np.where(fresh != UNASSIGNED, fresh, stale)
+                view = view[view != UNASSIGNED]
+                if view.size:
+                    counts = np.bincount(view, minlength=k).astype(np.float64)
+                else:
+                    counts = np.zeros(k, dtype=np.float64)
+                scores = self._score(counts, sizes)
+                target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+                current[vertex] = target
+                sizes[target] += 1
+            previous = current
+        return VertexPartition(k, current, algorithm=self.name)

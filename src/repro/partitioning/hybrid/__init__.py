@@ -1,0 +1,1 @@
+"""hybrid streaming graph partitioning algorithms."""

@@ -1,0 +1,1 @@
+"""vertex-cut streaming graph partitioning algorithms."""

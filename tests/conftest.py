@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.graph.generators import (
+    erdos_renyi,
+    ldbc_like,
+    path_graph,
+    road_like,
+    star_graph,
+    twitter_like,
+    web_like,
+)
+
+
+@pytest.fixture(scope="session")
+def small_twitter() -> Graph:
+    """A small heavy-tailed social graph (shared; treat as immutable)."""
+    return twitter_like(num_vertices=1500, avg_degree=8, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_web() -> Graph:
+    """A small power-law web graph."""
+    return web_like(scale=10, edge_factor=8, seed=102)
+
+
+@pytest.fixture(scope="session")
+def small_road() -> Graph:
+    """A small road-like grid graph."""
+    return road_like(num_vertices=1600, seed=103)
+
+
+@pytest.fixture(scope="session")
+def small_social() -> Graph:
+    """A small community-structured social graph."""
+    return ldbc_like(num_vertices=1200, avg_degree=12, seed=104)
+
+
+@pytest.fixture(scope="session")
+def random_graph() -> Graph:
+    """A uniform random multigraph."""
+    return erdos_renyi(400, 3000, seed=105)
+
+
+@pytest.fixture()
+def tiny_graph() -> Graph:
+    """A 6-vertex graph with a known structure::
+
+        0 -> 1, 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 4, 4 -> 5, 5 -> 3
+    """
+    src = np.array([0, 0, 1, 2, 3, 4, 5])
+    dst = np.array([1, 2, 2, 3, 4, 5, 3])
+    return Graph(6, src, dst, name="tiny")
+
+
+@pytest.fixture()
+def star() -> Graph:
+    return star_graph(20)
+
+
+@pytest.fixture()
+def path() -> Graph:
+    return path_graph(10)

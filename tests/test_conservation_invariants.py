@@ -1,0 +1,129 @@
+"""Cross-cutting conservation invariants of the two simulators.
+
+These are the "accounting must add up" checks: every message, byte,
+second and read the simulators report must be attributable and bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    GasEngine,
+    PageRank,
+    Placement,
+    WeaklyConnectedComponents,
+    run_workload,
+)
+from repro.database import WorkloadGenerator, simulate_workload
+from repro.partitioning import (
+    HashEdgePartitioner,
+    HashVertexPartitioner,
+    HdrfPartitioner,
+)
+
+
+@pytest.fixture(scope="module")
+def engine_setup():
+    from repro.graph.generators import twitter_like
+    graph = twitter_like(num_vertices=1000, avg_degree=8, seed=71)
+    return graph
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    from repro.graph.generators import ldbc_like
+    graph = ldbc_like(num_vertices=1000, avg_degree=10, seed=72)
+    partition = HashVertexPartitioner().partition(graph, 6)
+    bindings = WorkloadGenerator(graph, skew=0.4, seed=5).bindings("one_hop",
+                                                                   150)
+    result = simulate_workload(graph, partition, bindings, duration=0.4)
+    return graph, result
+
+
+class TestEngineConservation:
+    def test_bytes_equal_messages_times_size(self, engine_setup):
+        graph = engine_setup
+        ep = HashEdgePartitioner().partition(graph, 6)
+        run = run_workload(graph, ep, PageRank(3))
+        from repro.analytics import DEFAULT_COST_MODEL
+        for it in run.iterations:
+            expected = it.total_messages * DEFAULT_COST_MODEL.bytes_per_message
+            assert it.network_bytes == pytest.approx(expected)
+
+    def test_gather_messages_bounded_by_mirrors(self, engine_setup):
+        graph = engine_setup
+        ep = HdrfPartitioner(seed=0).partition(graph, 6, order="random",
+                                               seed=1)
+        placement = Placement(graph, ep)
+        run = GasEngine().run(graph, placement, PageRank(2))
+        bound = int(placement.mirror_counts_all.sum())
+        for it in run.iterations:
+            assert it.gather_messages <= bound
+
+    def test_update_messages_bounded_by_mirrors(self, engine_setup):
+        graph = engine_setup
+        ep = HdrfPartitioner(seed=0).partition(graph, 6, order="random",
+                                               seed=1)
+        placement = Placement(graph, ep)
+        run = GasEngine().run(graph, placement, WeaklyConnectedComponents())
+        bound = int(placement.mirror_counts_all.sum())
+        for it in run.iterations:
+            assert it.mirror_update_messages <= bound
+
+    def test_compute_time_nonnegative_everywhere(self, engine_setup):
+        graph = engine_setup
+        ep = HashEdgePartitioner().partition(graph, 6)
+        run = run_workload(graph, ep, WeaklyConnectedComponents())
+        for it in run.iterations:
+            assert np.all(it.compute_seconds >= 0)
+            assert it.wall_seconds >= it.compute_seconds.max()
+
+    def test_execution_time_sums_iterations(self, engine_setup):
+        graph = engine_setup
+        ep = HashEdgePartitioner().partition(graph, 6)
+        run = run_workload(graph, ep, PageRank(4))
+        assert run.execution_seconds == pytest.approx(
+            sum(it.wall_seconds for it in run.iterations))
+
+    def test_workload_result_placement_independent(self, engine_setup):
+        """The same workload on two placements yields identical values."""
+        graph = engine_setup
+        a = PageRank(5)
+        b = PageRank(5)
+        run_workload(graph, HashVertexPartitioner().partition(graph, 3), a)
+        run_workload(graph, HdrfPartitioner(seed=0).partition(
+            graph, 7, order="random", seed=1), b)
+        assert np.allclose(a.result(), b.result())
+
+
+class TestSimulationConservation:
+    def test_reads_partition_across_workers(self, sim_setup):
+        _graph, result = sim_setup
+        assert result.vertices_read_per_worker.sum() == result.total_reads
+
+    def test_remote_reads_bounded(self, sim_setup):
+        _graph, result = sim_setup
+        assert 0 <= result.remote_reads <= result.total_reads
+
+    def test_busy_time_bounded_by_duration(self, sim_setup):
+        """A FIFO server cannot be busy longer than the simulated horizon
+        (plus one in-flight request)."""
+        _graph, result = sim_setup
+        slack = 0.1 * result.duration
+        assert np.all(result.busy_seconds_per_worker
+                      <= result.duration + slack)
+
+    def test_latency_count_matches_completions(self, sim_setup):
+        _graph, result = sim_setup
+        assert len(result.latencies) == result.completed_queries
+
+    def test_network_bytes_track_remote_reads(self, sim_setup):
+        from repro.database.simulation import (
+            BYTES_PER_REMOTE_REQUEST,
+            BYTES_PER_VERTEX_RECORD,
+        )
+        _graph, result = sim_setup
+        minimum = result.remote_reads * BYTES_PER_VERTEX_RECORD
+        assert result.network_bytes >= minimum
+        assert result.network_bytes <= minimum + \
+            result.remote_reads * BYTES_PER_REMOTE_REQUEST + 1e6

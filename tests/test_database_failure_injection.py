@@ -1,0 +1,71 @@
+"""Tests for failure injection: straggling workers in the DES."""
+
+import numpy as np
+import pytest
+
+from repro.database import Cluster, ServiceModel, WorkloadGenerator, simulate_workload
+from repro.errors import ConfigurationError
+from repro.partitioning import HashVertexPartitioner
+
+
+@pytest.fixture(scope="module")
+def straggler_setup():
+    from repro.graph.generators import ldbc_like
+    graph = ldbc_like(num_vertices=1200, avg_degree=12, seed=61)
+    partition = HashVertexPartitioner().partition(graph, 8)
+    bindings = WorkloadGenerator(graph, skew=0.5, seed=3).bindings("one_hop", 200)
+    return graph, partition, bindings
+
+
+class TestWorkerSpeed:
+    def test_speed_scales_service(self):
+        model = ServiceModel(request_base_seconds=1e-3, per_read_seconds=0.0)
+        from repro.database.cluster import Worker
+        fast = Worker(0, model, speed=2.0)
+        slow = Worker(1, model, speed=0.5)
+        assert fast.service_seconds(0) == pytest.approx(5e-4)
+        assert slow.service_seconds(0) == pytest.approx(2e-3)
+
+    def test_invalid_speed_rejected(self):
+        from repro.database.cluster import Worker
+        with pytest.raises(ConfigurationError):
+            Worker(0, ServiceModel(), speed=0.0)
+
+    def test_cluster_speed_vector_validated(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(4, np.zeros(4, dtype=np.int64), worker_speeds=[1.0, 1.0])
+
+
+class TestStragglerEffects:
+    def test_straggler_reduces_throughput(self, straggler_setup):
+        graph, partition, bindings = straggler_setup
+        healthy = simulate_workload(graph, partition, bindings, duration=0.4)
+        speeds = [1.0] * 8
+        speeds[0] = 0.25
+        degraded = simulate_workload(graph, partition, bindings, duration=0.4,
+                                     worker_speeds=speeds)
+        assert degraded.throughput < healthy.throughput
+
+    def test_straggler_inflates_tail_latency(self, straggler_setup):
+        graph, partition, bindings = straggler_setup
+        healthy = simulate_workload(graph, partition, bindings, duration=0.4)
+        speeds = [1.0] * 8
+        speeds[0] = 0.25
+        degraded = simulate_workload(graph, partition, bindings, duration=0.4,
+                                     worker_speeds=speeds)
+        assert degraded.latency().p99 > healthy.latency().p99
+
+    def test_fast_workers_help(self, straggler_setup):
+        graph, partition, bindings = straggler_setup
+        nominal = simulate_workload(graph, partition, bindings, duration=0.4)
+        boosted = simulate_workload(graph, partition, bindings, duration=0.4,
+                                    worker_speeds=[4.0] * 8)
+        assert boosted.latency().mean < nominal.latency().mean
+
+    def test_unit_speeds_match_default(self, straggler_setup):
+        graph, partition, bindings = straggler_setup
+        default = simulate_workload(graph, partition, bindings, duration=0.3)
+        explicit = simulate_workload(graph, partition, bindings, duration=0.3,
+                                     worker_speeds=[1.0] * 8)
+        assert default.completed_queries == explicit.completed_queries
+        assert np.array_equal(default.latencies, explicit.latencies)

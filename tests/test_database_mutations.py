@@ -1,0 +1,123 @@
+"""Tests for the write operations and mixed read/write workloads."""
+
+import numpy as np
+import pytest
+
+from repro.database import (
+    GraphMutationLog,
+    WorkloadGenerator,
+    insert_edge_plan,
+    mixed_read_write_bindings,
+    plan_query,
+    simulate_workload,
+    update_vertex_plan,
+)
+from repro.errors import ConfigurationError
+from repro.partitioning import HashVertexPartitioner, LdgPartitioner
+
+
+class TestMutationPlans:
+    def test_insert_edge_touches_both_endpoints(self, tiny_graph):
+        plan = insert_edge_plan(tiny_graph, 0, 3)
+        assert plan.kind == "insert_edge"
+        assert sorted(plan.phases[0].tolist()) == [0, 3]
+        assert plan.total_reads == 2
+
+    def test_insert_self_edge_single_record(self, tiny_graph):
+        plan = insert_edge_plan(tiny_graph, 2, 2)
+        assert plan.total_reads == 1
+
+    def test_update_vertex_single_partition(self, tiny_graph):
+        plan = update_vertex_plan(tiny_graph, 4)
+        assert plan.total_reads == 1
+        assert plan.phases[0].tolist() == [4]
+
+    def test_plan_query_dispatch(self, tiny_graph):
+        assert plan_query(tiny_graph, "insert_edge", 0,
+                          target_vertex=1).kind == "insert_edge"
+        assert plan_query(tiny_graph, "update_vertex", 0).kind == \
+            "update_vertex"
+        with pytest.raises(ConfigurationError):
+            plan_query(tiny_graph, "insert_edge", 0)
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            insert_edge_plan(tiny_graph, 0, 99)
+        with pytest.raises(ConfigurationError):
+            update_vertex_plan(tiny_graph, -1)
+
+
+class TestMutationLog:
+    def test_materialize_grows_graph(self, tiny_graph):
+        log = GraphMutationLog(tiny_graph)
+        log.insert_edge(0, 5)
+        log.insert_edge(1, 4)
+        grown = log.materialize()
+        assert grown.num_edges == tiny_graph.num_edges + 2
+        assert grown.num_vertices == tiny_graph.num_vertices
+        assert (0, 5) in set(grown.edges())
+
+    def test_empty_log_copies_base(self, tiny_graph):
+        grown = GraphMutationLog(tiny_graph).materialize()
+        assert list(grown.edges()) == list(tiny_graph.edges())
+
+    def test_bounds_checked(self, tiny_graph):
+        log = GraphMutationLog(tiny_graph)
+        with pytest.raises(ConfigurationError):
+            log.insert_edge(0, 100)
+
+
+class TestMixedWorkload:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.graph.generators import ldbc_like
+        graph = ldbc_like(num_vertices=1000, avg_degree=10, seed=51)
+        generator = WorkloadGenerator(graph, skew=0.5, seed=9)
+        return graph, generator
+
+    def test_mix_counts(self, setup):
+        _graph, generator = setup
+        bindings, inserts = mixed_read_write_bindings(
+            generator, count=200, write_fraction=0.25)
+        kinds = [b.kind for b in bindings]
+        assert len(bindings) == 200
+        assert kinds.count("insert_edge") == 50
+        assert len(inserts) == 50
+
+    def test_pure_reads(self, setup):
+        _graph, generator = setup
+        bindings, inserts = mixed_read_write_bindings(
+            generator, count=50, write_fraction=0.0)
+        assert all(b.kind == "one_hop" for b in bindings)
+        assert inserts == []
+
+    def test_invalid_fraction(self, setup):
+        _graph, generator = setup
+        with pytest.raises(ConfigurationError):
+            mixed_read_write_bindings(generator, write_fraction=1.5)
+
+    def test_simulates_end_to_end(self, setup):
+        graph, generator = setup
+        bindings, _ = mixed_read_write_bindings(generator, count=150,
+                                                write_fraction=0.3)
+        partition = HashVertexPartitioner().partition(graph, 4)
+        result = simulate_workload(graph, partition, bindings, duration=0.3)
+        assert result.completed_queries > 0
+
+    def test_colocated_writes_cheaper(self, setup):
+        """Edge inserts whose endpoints co-locate touch one partition —
+        a clustering partitioner turns dual writes into single writes."""
+        graph, generator = setup
+        _bindings, inserts = mixed_read_write_bindings(
+            generator, count=400, write_fraction=1.0)
+        hashed = HashVertexPartitioner().partition(graph, 8)
+        clustered = LdgPartitioner(seed=0).partition(graph, 8,
+                                                     order="natural", seed=1)
+
+        def single_partition_writes(partition):
+            assignment = partition.assignment
+            return sum(1 for u, v in inserts
+                       if assignment[u] == assignment[v])
+
+        assert single_partition_writes(clustered) > \
+            single_partition_writes(hashed)

@@ -1,0 +1,101 @@
+"""Tests for repro.database.queries: query plans."""
+
+import numpy as np
+import pytest
+
+from repro.database import one_hop, plan_query, shortest_path, two_hop
+from repro.errors import ConfigurationError
+from repro.graph import Graph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestOneHop:
+    def test_reads_start_and_neighbors(self, tiny_graph):
+        plan = one_hop(tiny_graph, 2)
+        assert plan.kind == "one_hop"
+        assert plan.phases[0].tolist() == [2]
+        assert sorted(plan.phases[1].tolist()) == [0, 1, 3]
+        assert plan.total_reads == 4
+
+    def test_isolated_vertex_single_phase(self):
+        g = Graph(3, np.array([0]), np.array([1]))
+        plan = one_hop(g, 2)
+        assert len(plan.phases) == 1
+        assert plan.total_reads == 1
+
+    def test_neighbors_deduplicated(self):
+        g = Graph(2, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        plan = one_hop(g, 0)
+        assert plan.phases[1].tolist() == [1]
+
+    def test_out_of_range_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            one_hop(tiny_graph, 99)
+
+
+class TestTwoHop:
+    def test_three_phases_on_path(self):
+        g = path_graph(5)
+        plan = two_hop(g, 2)
+        assert plan.phases[0].tolist() == [2]
+        assert sorted(plan.phases[1].tolist()) == [1, 3]
+        assert sorted(plan.phases[2].tolist()) == [0, 4]
+
+    def test_second_hop_excludes_first(self, tiny_graph):
+        plan = two_hop(tiny_graph, 2)
+        first = set(plan.phases[1].tolist())
+        second = set(plan.phases[2].tolist()) if len(plan.phases) > 2 else set()
+        assert not (first & second)
+        assert 2 not in second
+
+    def test_fanout_limit(self):
+        g = star_graph(100)
+        plan = two_hop(g, 0, fanout_limit=10)
+        assert plan.phases[1].size == 10
+
+    def test_superset_of_one_hop_reads(self, small_social):
+        v = int(np.argmax(small_social.degree))
+        assert (two_hop(small_social, v).total_reads
+                >= one_hop(small_social, v).total_reads)
+
+
+class TestShortestPath:
+    def test_same_vertex(self, tiny_graph):
+        plan = shortest_path(tiny_graph, 3, 3)
+        assert plan.total_reads == 1
+
+    def test_adjacent_vertices_quick(self):
+        g = path_graph(10)
+        plan = shortest_path(g, 0, 1)
+        assert len(plan.phases) <= 2
+
+    def test_expands_both_sides(self):
+        g = path_graph(9)
+        plan = shortest_path(g, 0, 8)
+        starts = {int(p[0]) for p in plan.phases}
+        assert 0 in starts and 8 in starts
+
+    def test_max_depth_caps_phases(self):
+        g = path_graph(200)
+        plan = shortest_path(g, 0, 199, max_depth=4)
+        assert len(plan.phases) <= 4
+
+    def test_total_reads_bounded_by_graph(self, small_road):
+        plan = shortest_path(small_road, 0, small_road.num_vertices - 1)
+        assert plan.total_reads <= 2 * small_road.num_vertices
+
+
+class TestPlanQuery:
+    def test_dispatch(self, tiny_graph):
+        assert plan_query(tiny_graph, "one_hop", 0).kind == "one_hop"
+        assert plan_query(tiny_graph, "two_hop", 0).kind == "two_hop"
+        assert plan_query(tiny_graph, "shortest_path", 0,
+                          target_vertex=3).kind == "shortest_path"
+
+    def test_shortest_path_requires_target(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            plan_query(tiny_graph, "shortest_path", 0)
+
+    def test_unknown_kind_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            plan_query(tiny_graph, "three_hop", 0)

@@ -1,0 +1,150 @@
+"""Tests for the closed-loop discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.database import (
+    ClosedLoopSimulation,
+    ServiceModel,
+    WorkloadGenerator,
+    simulate_workload,
+)
+from repro.errors import ConfigurationError
+from repro.partitioning import HashVertexPartitioner, LdgPartitioner
+
+
+@pytest.fixture(scope="module")
+def sim_setup():
+    """Graph + partition + bindings shared by the simulation tests."""
+    from repro.graph.generators import ldbc_like
+    graph = ldbc_like(num_vertices=1500, avg_degree=12, seed=42)
+    partition = HashVertexPartitioner().partition(graph, 8)
+    bindings = WorkloadGenerator(graph, skew=0.5, seed=7).bindings("one_hop", 200)
+    return graph, partition, bindings
+
+
+class TestServiceModel:
+    def test_service_seconds(self):
+        model = ServiceModel(request_base_seconds=1e-3, per_read_seconds=1e-4)
+        assert model.service_seconds(10) == pytest.approx(2e-3)
+
+    def test_scaled_grows_with_cluster(self):
+        model = ServiceModel(cluster_overhead_per_worker=0.1)
+        scaled = model.scaled(10)
+        assert scaled.request_base_seconds == pytest.approx(
+            2.0 * model.request_base_seconds)
+        # Scaling is applied once: the returned model has no residual factor.
+        assert scaled.cluster_overhead_per_worker == 0.0
+
+
+class TestSimulationBasics:
+    def test_runs_and_completes_queries(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, partition, bindings, duration=0.4)
+        assert result.completed_queries > 0
+        assert result.throughput > 0
+        assert len(result.latencies) == result.completed_queries
+
+    def test_deterministic(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        a = simulate_workload(graph, partition, bindings, duration=0.3)
+        b = simulate_workload(graph, partition, bindings, duration=0.3)
+        assert a.completed_queries == b.completed_queries
+        assert np.array_equal(a.latencies, b.latencies)
+
+    def test_latencies_positive_and_bounded(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, partition, bindings, duration=0.4)
+        assert np.all(result.latencies > 0)
+        assert np.all(result.latencies <= result.duration)
+
+    def test_reads_distributed_over_workers(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, partition, bindings, duration=0.4)
+        assert result.vertices_read_per_worker.shape == (8,)
+        assert result.vertices_read_per_worker.sum() == result.total_reads
+
+    def test_remote_reads_le_total(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, partition, bindings, duration=0.4)
+        assert 0 < result.remote_reads <= result.total_reads
+        assert result.network_bytes > 0
+
+    def test_latency_summary(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, partition, bindings, duration=0.4)
+        latency = result.latency()
+        assert latency.p99 >= latency.p50 > 0
+        assert latency.count == result.completed_queries
+
+
+class TestLoadBehaviour:
+    def test_more_clients_more_throughput_until_saturation(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        light = simulate_workload(graph, partition, bindings,
+                                  clients_per_worker=2, duration=0.4)
+        heavy = simulate_workload(graph, partition, bindings,
+                                  clients_per_worker=12, duration=0.4)
+        assert heavy.throughput > light.throughput
+
+    def test_overload_raises_latency(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        medium = simulate_workload(graph, partition, bindings,
+                                   clients_per_worker=12, duration=0.4)
+        high = simulate_workload(graph, partition, bindings,
+                                 clients_per_worker=24, duration=0.4)
+        assert high.latency().mean > medium.latency().mean
+
+    def test_single_worker_serialises(self, sim_setup):
+        graph, _partition, bindings = sim_setup
+        single = HashVertexPartitioner().partition(graph, 1)
+        result = simulate_workload(graph, single, bindings,
+                                   clients_per_worker=4, duration=0.4)
+        assert result.remote_reads == 0
+        assert result.completed_queries > 0
+
+    def test_hotspot_partitioning_skews_reads(self, sim_setup):
+        """A clustering partitioner concentrates reads under a skewed
+        workload (the Section 6.3.1 effect)."""
+        graph, hashed, bindings = sim_setup
+        clustered = LdgPartitioner(seed=0).partition(graph, 8,
+                                                     order="natural", seed=1)
+        res_hash = simulate_workload(graph, hashed, bindings, duration=0.4)
+        res_ldg = simulate_workload(graph, clustered, bindings, duration=0.4)
+
+        def spread(result):
+            reads = result.read_distribution()
+            return reads.max() / reads.mean()
+
+        assert spread(res_ldg) > spread(res_hash)
+
+
+class TestValidation:
+    def test_empty_bindings_rejected(self, sim_setup):
+        graph, partition, _ = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8)
+        with pytest.raises(ConfigurationError):
+            sim.run([])
+
+    def test_bad_duration_rejected(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8)
+        with pytest.raises(ConfigurationError):
+            sim.run(bindings, duration=0)
+
+    def test_owner_shape_checked(self, sim_setup):
+        graph, _partition, _ = sim_setup
+        with pytest.raises(ConfigurationError):
+            ClosedLoopSimulation(graph, np.zeros(3), 8)
+
+    def test_owner_range_checked(self, sim_setup):
+        graph, _partition, _ = sim_setup
+        bad = np.full(graph.num_vertices, 99)
+        with pytest.raises(ConfigurationError):
+            ClosedLoopSimulation(graph, bad, 8)
+
+    def test_clients_validated(self, sim_setup):
+        graph, partition, _ = sim_setup
+        with pytest.raises(ConfigurationError):
+            ClosedLoopSimulation(graph, partition.assignment, 8,
+                                 clients_per_worker=0)

@@ -1,0 +1,131 @@
+"""Tests for repro.database.workload and router and access log."""
+
+import numpy as np
+import pytest
+
+from repro.database import (
+    AccessLog,
+    QueryBinding,
+    WorkloadGenerator,
+    one_hop,
+    record_workload,
+    route_plan,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWorkloadGenerator:
+    def test_bindings_count_and_kind(self, small_social):
+        gen = WorkloadGenerator(small_social, seed=1)
+        bindings = gen.bindings("one_hop", 50)
+        assert len(bindings) == 50
+        assert all(b.kind == "one_hop" for b in bindings)
+
+    def test_shortest_path_has_targets(self, small_social):
+        gen = WorkloadGenerator(small_social, seed=1)
+        bindings = gen.bindings("shortest_path", 20)
+        assert all(b.target_vertex is not None for b in bindings)
+
+    def test_seeded_reproducible(self, small_social):
+        a = WorkloadGenerator(small_social, skew=0.5, seed=9).bindings("one_hop", 30)
+        b = WorkloadGenerator(small_social, skew=0.5, seed=9).bindings("one_hop", 30)
+        assert [x.start_vertex for x in a] == [x.start_vertex for x in b]
+
+    def test_skew_concentrates_on_high_degree(self, small_social):
+        uniform = WorkloadGenerator(small_social, skew=0.0, seed=2)
+        skewed = WorkloadGenerator(small_social, skew=1.2, seed=2)
+        deg = small_social.degree
+        avg_uniform = deg[uniform.sample_vertices(2000)].mean()
+        avg_skewed = deg[skewed.sample_vertices(2000)].mean()
+        assert avg_skewed > 2 * avg_uniform
+
+    def test_min_degree_filter(self, small_social):
+        gen = WorkloadGenerator(small_social, min_degree=5, seed=3)
+        starts = gen.sample_vertices(500)
+        assert np.all(small_social.degree[starts] >= 5)
+
+    def test_mixed_bindings(self, small_social):
+        gen = WorkloadGenerator(small_social, seed=4)
+        mixed = gen.mixed_bindings({"one_hop": 0.7, "two_hop": 0.3}, 200)
+        kinds = {b.kind for b in mixed}
+        assert kinds == {"one_hop", "two_hop"}
+        assert len(mixed) == 200
+
+    def test_invalid_parameters(self, small_social):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(small_social, skew=-1)
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(small_social, min_degree=10**9)
+        gen = WorkloadGenerator(small_social, seed=1)
+        with pytest.raises(ConfigurationError):
+            gen.bindings("five_hop", 5)
+        with pytest.raises(ConfigurationError):
+            gen.mixed_bindings({"one_hop": 0.0}, 5)
+
+
+class TestRouter:
+    def test_coordinator_owns_start(self, tiny_graph):
+        owner = np.array([0, 0, 1, 1, 0, 1])
+        plan = one_hop(tiny_graph, 2)
+        routed = route_plan(plan, owner)
+        assert routed.coordinator == 1
+
+    def test_requests_grouped_by_owner(self, tiny_graph):
+        owner = np.array([0, 0, 1, 1, 0, 1])
+        routed = route_plan(one_hop(tiny_graph, 2), owner)
+        # Phase 2 reads {0, 1, 3}: owners {0, 0, 1} -> 2 requests.
+        phase2 = dict(routed.phases[1].requests)
+        assert phase2 == {0: 2, 1: 1}
+
+    def test_total_reads_preserved(self, small_social):
+        owner = np.arange(small_social.num_vertices) % 4
+        v = int(np.argmax(small_social.degree))
+        plan = one_hop(small_social, v)
+        routed = route_plan(plan, owner)
+        assert routed.total_reads == plan.total_reads
+
+    def test_remote_reads_zero_when_colocated(self, tiny_graph):
+        owner = np.zeros(6, dtype=np.int64)
+        routed = route_plan(one_hop(tiny_graph, 2), owner)
+        assert routed.remote_reads() == 0
+
+    def test_remote_reads_counted(self, tiny_graph):
+        owner = np.array([0, 0, 1, 0, 0, 0])
+        routed = route_plan(one_hop(tiny_graph, 2), owner)
+        # Coordinator 1; reads of 0, 1, 3 (owner 0) are remote.
+        assert routed.remote_reads() == 3
+
+
+class TestAccessLog:
+    def test_records_reads(self, tiny_graph):
+        log = AccessLog(6)
+        log.record_plan(one_hop(tiny_graph, 2))
+        assert log.vertex_reads[2] == 1
+        assert log.vertex_reads[0] == 1
+        assert log.queries_recorded == 1
+
+    def test_record_many(self, tiny_graph):
+        plans = [one_hop(tiny_graph, 2), one_hop(tiny_graph, 2)]
+        log = record_workload(tiny_graph, plans)
+        assert log.vertex_reads[2] == 2
+        assert log.queries_recorded == 2
+
+    def test_access_ratios_sum_to_one(self, tiny_graph):
+        log = record_workload(tiny_graph, [one_hop(tiny_graph, 2)])
+        assert log.access_ratios().sum() == pytest.approx(1.0)
+
+    def test_empty_log_ratios(self):
+        log = AccessLog(5)
+        assert log.access_ratios().sum() == 0.0
+
+    def test_hot_vertices(self, tiny_graph):
+        # one_hop(2) reads {2, 0, 1, 3}; one_hop(4) reads {4, 3, 5} —
+        # vertex 3 accumulates 4 reads, more than any other.
+        log = record_workload(tiny_graph, [one_hop(tiny_graph, 2)] * 3
+                              + [one_hop(tiny_graph, 4)])
+        assert log.hot_vertices(1)[0] == 3
+        assert log.vertex_reads[3] == 4
+
+    def test_binding_dataclass(self):
+        b = QueryBinding("one_hop", 3)
+        assert b.target_vertex is None

@@ -1,0 +1,109 @@
+"""Tests for repro.graph.analysis."""
+
+import numpy as np
+
+from repro.graph import Graph
+from repro.graph.analysis import (
+    bfs_distances,
+    classify_graph,
+    degree_stats,
+    estimate_diameter,
+    largest_component_fraction,
+    power_law_exponent,
+    weakly_connected_components,
+)
+from repro.graph.generators import cycle_graph, path_graph, star_graph
+
+
+class TestDegreeStats:
+    def test_tiny(self, tiny_graph):
+        stats = degree_stats(tiny_graph)
+        assert stats.num_vertices == 6
+        assert stats.num_edges == 7
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+
+    def test_star_skew(self):
+        stats = degree_stats(star_graph(50))
+        assert stats.max_degree == 50
+        assert stats.skew > 10
+
+    def test_empty(self):
+        from repro.graph.generators import empty_graph
+        stats = degree_stats(empty_graph(0))
+        assert stats.avg_degree == 0.0
+        assert stats.max_degree == 0
+
+
+class TestPowerLawExponent:
+    def test_too_few_samples_nan(self):
+        assert np.isnan(power_law_exponent(np.array([1, 2, 3])))
+
+    def test_pareto_degrees_estimated(self):
+        rng = np.random.default_rng(0)
+        degrees = (rng.pareto(1.5, size=20_000) * 10 + 1).astype(int)
+        exponent = power_law_exponent(degrees)
+        assert 2.0 < exponent < 3.2   # true tail exponent = 2.5
+
+    def test_uniform_degrees_flat_tail(self):
+        degrees = np.full(5000, 10)
+        exponent = power_law_exponent(degrees)
+        # Degenerate tail: estimator returns nan (zero mean log spacing).
+        assert np.isnan(exponent) or exponent > 5
+
+
+class TestClassify:
+    def test_fixture_classes(self, small_twitter, small_web, small_road):
+        assert classify_graph(small_twitter) == "heavy-tailed"
+        assert classify_graph(small_web) == "power-law"
+        assert classify_graph(small_road) == "low-degree"
+
+    def test_cycle_low_degree(self):
+        assert classify_graph(cycle_graph(100)) == "low-degree"
+
+
+class TestComponents:
+    def test_single_component(self):
+        labels = weakly_connected_components(cycle_graph(10))
+        assert len(set(labels.tolist())) == 1
+
+    def test_direction_ignored(self):
+        g = Graph(4, np.array([1, 3]), np.array([0, 2]))
+        labels = weakly_connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices_own_components(self):
+        g = Graph(5, np.array([0]), np.array([1]))
+        labels = weakly_connected_components(g)
+        assert len(set(labels.tolist())) == 4
+
+    def test_largest_component_fraction(self):
+        g = Graph(10, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 4]))
+        assert largest_component_fraction(g) == 0.5
+
+    def test_empty_graph_fraction(self):
+        from repro.graph.generators import empty_graph
+        assert largest_component_fraction(empty_graph(0)) == 0.0
+
+
+class TestBfsAndDiameter:
+    def test_bfs_distances_path(self):
+        dist = bfs_distances(path_graph(5), 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable_marked(self):
+        g = Graph(4, np.array([0]), np.array([1]))
+        dist = bfs_distances(g, 0)
+        assert dist[3] == -1
+
+    def test_bfs_undirected(self):
+        dist = bfs_distances(path_graph(5), 4)
+        assert dist[0] == 4   # follows reverse edges too
+
+    def test_diameter_path(self):
+        assert estimate_diameter(path_graph(30), probes=3, seed=0) == 29
+
+    def test_diameter_star(self):
+        assert estimate_diameter(star_graph(30), probes=3, seed=0) == 2

@@ -1,0 +1,107 @@
+"""Tests for repro.graph.builder.GraphBuilder."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import GraphBuilder
+
+
+class TestAddEdge:
+    def test_chaining(self):
+        g = GraphBuilder().add_edge(0, 1).add_edge(1, 2).build()
+        assert g.num_edges == 2
+        assert g.num_vertices == 3
+
+    def test_self_loops_dropped_by_default(self):
+        g = GraphBuilder().add_edge(0, 0).add_edge(0, 1).build()
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_when_allowed(self):
+        g = GraphBuilder(allow_self_loops=True).add_edge(0, 0).build()
+        assert g.num_edges == 1
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder().add_edge(-1, 0)
+
+    def test_len_tracks_edges(self):
+        b = GraphBuilder()
+        b.add_edge(0, 1)
+        b.add_edge(1, 2)
+        assert len(b) == 2
+
+    def test_growth_beyond_initial_capacity(self):
+        b = GraphBuilder()
+        for i in range(5000):
+            b.add_edge(i, i + 1)
+        g = b.build()
+        assert g.num_edges == 5000
+        assert list(g.edges())[4999] == (4999, 5000)
+
+
+class TestAddEdges:
+    def test_batch_from_list(self):
+        g = GraphBuilder().add_edges([(0, 1), (1, 2), (2, 0)]).build()
+        assert g.num_edges == 3
+
+    def test_batch_from_array(self):
+        arr = np.array([[0, 1], [2, 3]])
+        g = GraphBuilder().add_edges(arr).build()
+        assert g.num_vertices == 4
+
+    def test_batch_drops_self_loops(self):
+        g = GraphBuilder().add_edges([(0, 0), (0, 1), (1, 1)]).build()
+        assert g.num_edges == 1
+
+    def test_empty_batch(self):
+        g = GraphBuilder().add_edges([]).build()
+        assert g.num_edges == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder().add_edges([(0, 1, 2)])
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            GraphBuilder().add_edges([(0, -1)])
+
+
+class TestBuildOptions:
+    def test_fixed_vertex_count(self):
+        g = GraphBuilder(num_vertices=10).add_edge(0, 1).build()
+        assert g.num_vertices == 10
+
+    def test_inferred_vertex_count(self):
+        g = GraphBuilder().add_edge(3, 7).build()
+        assert g.num_vertices == 8
+
+    def test_empty_build(self):
+        g = GraphBuilder().build()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_dedup(self):
+        g = GraphBuilder(dedup=True).add_edges(
+            [(0, 1), (0, 1), (1, 2), (0, 1)]).build()
+        assert g.num_edges == 2
+
+    def test_dedup_preserves_first_occurrence_order(self):
+        g = GraphBuilder(dedup=True).add_edges(
+            [(2, 3), (0, 1), (2, 3)]).build()
+        assert list(g.edges()) == [(2, 3), (0, 1)]
+
+    def test_name_passed_through(self):
+        g = GraphBuilder().add_edge(0, 1).build(name="custom")
+        assert g.name == "custom"
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                max_size=100))
+def test_property_builder_matches_input(pairs):
+    """The built graph contains exactly the non-loop input edges, in order."""
+    g = GraphBuilder().add_edges(pairs).build()
+    expected = [(u, v) for u, v in pairs if u != v]
+    assert list(g.edges()) == expected

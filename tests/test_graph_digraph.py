@@ -1,0 +1,140 @@
+"""Tests for repro.graph.digraph.Graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 6
+        assert tiny_graph.num_edges == 7
+        assert len(tiny_graph) == 6
+
+    def test_empty_graph(self):
+        g = Graph(0, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices_allowed(self):
+        g = Graph(10, np.array([0]), np.array([1]))
+        assert g.num_vertices == 10
+        assert g.out_degree[9] == 0
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, np.array([0]), np.array([5]))
+
+    def test_rejects_negative_endpoint(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, np.array([-1]), np.array([1]))
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_negative_vertex_count(self):
+        with pytest.raises(GraphFormatError):
+            Graph(-1, np.empty(0, np.int64), np.empty(0, np.int64))
+
+    def test_edge_arrays_read_only(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.src[0] = 5
+
+
+class TestDegrees:
+    def test_out_degree(self, tiny_graph):
+        assert tiny_graph.out_degree.tolist() == [2, 1, 1, 1, 1, 1]
+
+    def test_in_degree(self, tiny_graph):
+        assert tiny_graph.in_degree.tolist() == [0, 1, 2, 2, 1, 1]
+
+    def test_total_degree(self, tiny_graph):
+        assert np.array_equal(tiny_graph.degree,
+                              tiny_graph.out_degree + tiny_graph.in_degree)
+
+    def test_degree_sums_to_edges(self, small_twitter):
+        assert small_twitter.out_degree.sum() == small_twitter.num_edges
+        assert small_twitter.in_degree.sum() == small_twitter.num_edges
+
+    def test_multigraph_counts_multiplicity(self):
+        g = Graph(2, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        assert g.out_degree[0] == 3
+        assert g.in_degree[1] == 3
+
+
+class TestNeighbors:
+    def test_out_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(0).tolist()) == [1, 2]
+        assert tiny_graph.out_neighbors(2).tolist() == [3]
+
+    def test_in_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.in_neighbors(2).tolist()) == [0, 1]
+        assert tiny_graph.in_neighbors(0).tolist() == []
+
+    def test_undirected_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.neighbors(3).tolist()) == [2, 4, 5]
+
+    def test_neighbors_with_multiplicity(self):
+        g = Graph(2, np.array([0, 0]), np.array([1, 1]))
+        assert g.neighbors(0).tolist() == [1, 1]
+
+    def test_out_edge_ids_map_back(self, tiny_graph):
+        for u in range(tiny_graph.num_vertices):
+            for eid in tiny_graph.out_edge_ids(u).tolist():
+                assert tiny_graph.src[eid] == u
+
+    def test_in_edge_ids_map_back(self, tiny_graph):
+        for u in range(tiny_graph.num_vertices):
+            for eid in tiny_graph.in_edge_ids(u).tolist():
+                assert tiny_graph.dst[eid] == u
+
+
+class TestTransforms:
+    def test_edges_iterator(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert edges[0] == (0, 1)
+        assert len(edges) == 7
+
+    def test_edge_array_shape(self, tiny_graph):
+        arr = tiny_graph.edge_array()
+        assert arr.shape == (7, 2)
+
+    def test_reversed(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        assert np.array_equal(rev.src, tiny_graph.dst)
+        assert np.array_equal(rev.dst, tiny_graph.src)
+        assert np.array_equal(rev.in_degree, tiny_graph.out_degree)
+
+    def test_subgraph_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph_edges([0, 2, 4])
+        assert sub.num_edges == 3
+        assert sub.num_vertices == tiny_graph.num_vertices
+        assert list(sub.edges()) == [(0, 1), (1, 2), (3, 4)]
+
+    def test_with_name(self, tiny_graph):
+        renamed = tiny_graph.with_name("other")
+        assert renamed.name == "other"
+        assert tiny_graph.name == "tiny"
+        assert renamed.num_edges == tiny_graph.num_edges
+
+
+@given(st.integers(min_value=1, max_value=50),
+       st.integers(min_value=0, max_value=200),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_random_graph_invariants(n, m, seed):
+    """Any valid (src, dst) arrays produce a consistent graph."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    g = Graph(n, src, dst)
+    assert g.num_edges == m
+    assert g.out_degree.sum() == m
+    assert g.in_degree.sum() == m
+    # CSR round trip: every edge appears in its source's out-neighbours.
+    for eid in range(0, m, max(1, m // 10)):
+        assert dst[eid] in g.out_neighbors(int(src[eid]))

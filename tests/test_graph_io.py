@@ -1,0 +1,85 @@
+"""Tests for repro.graph.io: serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import (
+    load_npz,
+    read_adjacency_list,
+    read_edge_list,
+    save_npz,
+    stream_edge_list,
+    write_adjacency_list,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.txt"
+        write_edge_list(tiny_graph, path)
+        loaded = read_edge_list(path, num_vertices=tiny_graph.num_vertices)
+        assert list(loaded.edges()) == list(tiny_graph.edges())
+
+    def test_gzip_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.txt.gz"
+        write_edge_list(tiny_graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1\n# more\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_name_defaults_to_stem(self, tiny_graph, tmp_path):
+        path = tmp_path / "mygraph.txt"
+        write_edge_list(tiny_graph, path)
+        assert read_edge_list(path).name == "mygraph"
+
+
+class TestAdjacencyList:
+    def test_round_trip_edge_set(self, tiny_graph, tmp_path):
+        path = tmp_path / "adj.txt"
+        write_adjacency_list(tiny_graph, path)
+        loaded = read_adjacency_list(path)
+        assert sorted(loaded.edges()) == sorted(tiny_graph.edges())
+
+    def test_vertices_without_out_edges_preserved(self, tmp_path):
+        path = tmp_path / "adj.txt"
+        path.write_text("0 1 2\n1\n2\n")
+        g = read_adjacency_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+
+class TestStreamEdgeList:
+    def test_lazily_yields_pairs(self, tiny_graph, tmp_path):
+        path = tmp_path / "tiny.txt"
+        write_edge_list(tiny_graph, path)
+        pairs = list(stream_edge_list(path))
+        assert pairs == list(tiny_graph.edges())
+
+
+class TestNpz:
+    def test_round_trip(self, small_twitter, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(small_twitter, path)
+        loaded = load_npz(path)
+        assert loaded.num_vertices == small_twitter.num_vertices
+        assert np.array_equal(loaded.src, small_twitter.src)
+        assert loaded.name == small_twitter.name

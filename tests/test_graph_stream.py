@@ -1,0 +1,109 @@
+"""Tests for repro.graph.stream: vertex/edge streams and orders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import EdgeStream, VertexStream, vertex_order
+from repro.graph.generators import path_graph
+
+
+class TestVertexOrder:
+    def test_natural(self, tiny_graph):
+        assert vertex_order(tiny_graph, "natural").tolist() == list(range(6))
+
+    def test_random_is_permutation(self, small_twitter):
+        order = vertex_order(small_twitter, "random", seed=1)
+        assert sorted(order.tolist()) == list(range(small_twitter.num_vertices))
+
+    def test_random_seeded(self, small_twitter):
+        a = vertex_order(small_twitter, "random", seed=5)
+        b = vertex_order(small_twitter, "random", seed=5)
+        assert np.array_equal(a, b)
+
+    def test_degree_orders(self, star):
+        ascending = vertex_order(star, "degree")
+        descending = vertex_order(star, "degree_desc")
+        assert ascending[-1] == 0        # hub has the highest degree
+        assert descending[0] == 0
+
+    def test_bfs_starts_at_zero_and_layers(self):
+        g = path_graph(6)
+        assert vertex_order(g, "bfs").tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_bfs_covers_disconnected_components(self):
+        from repro.graph import Graph
+        g = Graph(5, np.array([0, 3]), np.array([1, 4]))
+        order = vertex_order(g, "bfs")
+        assert sorted(order.tolist()) == [0, 1, 2, 3, 4]
+
+    def test_dfs_is_permutation(self, small_road):
+        order = vertex_order(small_road, "dfs")
+        assert sorted(order.tolist()) == list(range(small_road.num_vertices))
+
+    def test_unknown_order_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            vertex_order(tiny_graph, "sideways")
+
+
+class TestVertexStream:
+    def test_yields_all_vertices_once(self, tiny_graph):
+        seen = [arrival.vertex for arrival in VertexStream(tiny_graph)]
+        assert sorted(seen) == list(range(6))
+
+    def test_neighborhood_is_undirected(self, tiny_graph):
+        arrivals = {a.vertex: a.neighbors for a in VertexStream(tiny_graph)}
+        assert sorted(arrivals[2].tolist()) == [0, 1, 3]
+
+    def test_len(self, tiny_graph):
+        assert len(VertexStream(tiny_graph)) == 6
+
+    def test_unpacking(self, tiny_graph):
+        for vertex, neighbors in VertexStream(tiny_graph):
+            assert isinstance(vertex, int)
+            break
+
+    def test_reiterable(self, tiny_graph):
+        stream = VertexStream(tiny_graph, "random", seed=3)
+        first = [a.vertex for a in stream]
+        second = [a.vertex for a in stream]
+        assert first == second
+
+    def test_permutation_read_only(self, tiny_graph):
+        stream = VertexStream(tiny_graph)
+        with pytest.raises(ValueError):
+            stream.permutation[0] = 3
+
+
+class TestEdgeStream:
+    def test_yields_all_edges_once(self, tiny_graph):
+        ids = [a.edge_id for a in EdgeStream(tiny_graph)]
+        assert sorted(ids) == list(range(7))
+
+    def test_endpoints_match_graph(self, tiny_graph):
+        for edge_id, src, dst in EdgeStream(tiny_graph, "random", seed=1):
+            assert tiny_graph.src[edge_id] == src
+            assert tiny_graph.dst[edge_id] == dst
+
+    def test_len(self, tiny_graph):
+        assert len(EdgeStream(tiny_graph)) == 7
+
+    def test_bfs_groups_out_edges_by_source(self, tiny_graph):
+        sources = [a.src for a in EdgeStream(tiny_graph, "bfs")]
+        # Out-edges of each vertex appear contiguously.
+        changes = sum(1 for i in range(1, len(sources))
+                      if sources[i] != sources[i - 1])
+        assert changes == len(set(sources)) - 1
+
+    def test_random_seeded(self, small_twitter):
+        a = [x.edge_id for x in EdgeStream(small_twitter, "random", seed=2)]
+        b = [x.edge_id for x in EdgeStream(small_twitter, "random", seed=2)]
+        assert a == b
+
+    def test_unknown_order_rejected(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            EdgeStream(tiny_graph, "zigzag")
+
+    def test_empty_graph_stream(self):
+        from repro.graph.generators import empty_graph
+        assert list(EdgeStream(empty_graph(5), "bfs")) == []

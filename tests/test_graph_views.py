@@ -1,0 +1,93 @@
+"""Tests for repro.graph.views."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import Graph, degree_filtered, largest_component, simplified, symmetrized
+
+
+class TestSimplified:
+    def test_drops_duplicates_and_loops(self):
+        g = Graph(3, np.array([0, 0, 0, 1, 1]), np.array([1, 1, 0, 2, 2]))
+        simple = simplified(g)
+        assert sorted(simple.edges()) == [(0, 1), (1, 2)]
+
+    def test_preserves_vertex_count(self, small_twitter):
+        simple = simplified(small_twitter)
+        assert simple.num_vertices == small_twitter.num_vertices
+        assert simple.num_edges <= small_twitter.num_edges
+
+    def test_idempotent(self, small_twitter):
+        once = simplified(small_twitter)
+        twice = simplified(once)
+        assert once.num_edges == twice.num_edges
+
+    def test_empty(self):
+        from repro.graph.generators import empty_graph
+        assert simplified(empty_graph(3)).num_edges == 0
+
+
+class TestSymmetrized:
+    def test_every_edge_has_reverse(self, tiny_graph):
+        sym = symmetrized(tiny_graph)
+        edges = set(sym.edges())
+        for u, v in edges:
+            assert (v, u) in edges
+
+    def test_degrees_balanced(self, tiny_graph):
+        sym = symmetrized(tiny_graph)
+        assert np.array_equal(sym.in_degree, sym.out_degree)
+
+    def test_no_duplicates(self):
+        g = Graph(2, np.array([0, 1]), np.array([1, 0]))
+        sym = symmetrized(g)
+        assert sym.num_edges == 2
+
+
+class TestLargestComponent:
+    def test_keeps_biggest(self):
+        # Component {0,1,2} (3 vertices) vs {3,4} (2 vertices).
+        g = Graph(5, np.array([0, 1, 3]), np.array([1, 2, 4]))
+        lcc = largest_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 2
+
+    def test_relabels_densely(self):
+        g = Graph(6, np.array([3, 4]), np.array([4, 5]))
+        lcc = largest_component(g)
+        assert lcc.num_vertices == 3
+        assert set(lcc.src.tolist()) | set(lcc.dst.tolist()) <= {0, 1, 2}
+
+    def test_connected_graph_unchanged_size(self, small_road):
+        lcc = largest_component(small_road)
+        assert lcc.num_vertices <= small_road.num_vertices
+        assert lcc.num_edges <= small_road.num_edges
+        # The road generator's lattice is mostly connected.
+        assert lcc.num_vertices > 0.8 * small_road.num_vertices
+
+    def test_empty_graph(self):
+        from repro.graph.generators import empty_graph
+        assert largest_component(empty_graph(0)).num_vertices == 0
+
+
+class TestDegreeFiltered:
+    def test_drops_low_degree(self):
+        g = Graph(4, np.array([0, 0, 0]), np.array([1, 1, 2]))
+        filtered = degree_filtered(g, min_degree=2)
+        # Degrees: 0->3, 1->2, 2->1, 3->0; keep {0, 1}.
+        assert filtered.num_vertices == 2
+        assert filtered.num_edges == 2    # the two 0->1 edges
+
+    def test_min_degree_zero_keeps_all(self, small_web):
+        filtered = degree_filtered(small_web, min_degree=0)
+        assert filtered.num_vertices == small_web.num_vertices
+
+    def test_removes_web_periphery(self, small_web):
+        filtered = degree_filtered(small_web, min_degree=1)
+        assert filtered.num_vertices < small_web.num_vertices
+        assert filtered.num_edges == small_web.num_edges
+
+    def test_negative_rejected(self, small_web):
+        with pytest.raises(ConfigurationError):
+            degree_filtered(small_web, min_degree=-1)

@@ -1,0 +1,87 @@
+"""Integration matrix: every algorithm through both execution substrates.
+
+The paper's framework property is that *any* partitioning plugs into
+*any* workload.  These parametrised tests sweep the full cross product at
+small scale: 15 partitioners × 6 analytics workloads through the GAS
+engine, and the edge-cut partitioners × 3 query kinds through the
+database simulator — every combination must produce a sane, complete run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import WORKLOADS, run_workload
+from repro.database import WorkloadGenerator, simulate_workload
+from repro.experiments.datasets import sssp_source
+from repro.partitioning import available_algorithms, make_partitioner
+from repro.partitioning.base import VertexPartition
+
+K = 4
+
+
+@pytest.fixture(scope="module")
+def matrix_graph():
+    from repro.graph.generators import ldbc_like
+    return ldbc_like(num_vertices=600, avg_degree=8, seed=91)
+
+
+@pytest.fixture(scope="module")
+def matrix_partitions(matrix_graph):
+    partitions = {}
+    for name in available_algorithms():
+        partitioner = _make(name)
+        partitions[name] = partitioner.partition(matrix_graph, K,
+                                                 order="random", seed=3)
+    return partitions
+
+
+def _make(name):
+    try:
+        return make_partitioner(name, seed=11)
+    except TypeError:
+        return make_partitioner(name)
+
+
+def _workload(kind, graph):
+    if kind == "pagerank":
+        return WORKLOADS[kind](num_iterations=3)
+    if kind in ("sssp", "bfs"):
+        return WORKLOADS[kind](source=sssp_source(graph))
+    if kind == "kcore":
+        return WORKLOADS[kind](k=3)
+    if kind == "label-propagation":
+        return WORKLOADS[kind](max_iterations=8)
+    return WORKLOADS[kind]()
+
+
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+@pytest.mark.parametrize("workload_kind", sorted(WORKLOADS))
+def test_matrix_analytics(matrix_graph, matrix_partitions, algorithm,
+                          workload_kind):
+    """Every (partitioner, workload) pair executes and accounts sanely."""
+    partition = matrix_partitions[algorithm]
+    workload = _workload(workload_kind, matrix_graph)
+    run = run_workload(matrix_graph, partition, workload)
+    assert run.num_iterations >= 1
+    assert run.workload == workload.name
+    assert run.total_network_bytes >= 0
+    assert np.isfinite(run.execution_seconds)
+    per_machine = run.compute_seconds_per_machine()
+    assert per_machine.shape == (K,)
+    assert np.all(per_machine >= 0)
+    assert 1.0 <= run.replication_factor <= K
+
+
+@pytest.mark.parametrize("algorithm", ["ecr", "ldg", "fennel", "mts",
+                                       "re-ldg", "iogp", "leopard"])
+@pytest.mark.parametrize("kind", ["one_hop", "two_hop", "shortest_path"])
+def test_matrix_online(matrix_graph, matrix_partitions, algorithm, kind):
+    """Every edge-cut partitioning serves every query kind."""
+    partition = matrix_partitions[algorithm]
+    assert isinstance(partition, VertexPartition)
+    generator = WorkloadGenerator(matrix_graph, skew=0.4, seed=5)
+    bindings = generator.bindings(kind, 40)
+    result = simulate_workload(matrix_graph, partition, bindings,
+                               clients_per_worker=4, duration=0.2)
+    assert result.completed_queries > 0
+    assert result.vertices_read_per_worker.sum() == result.total_reads

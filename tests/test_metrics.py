@@ -1,0 +1,170 @@
+"""Tests for repro.metrics: structural and runtime metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PartitioningError
+from repro.graph import Graph
+from repro.metrics import (
+    communication_cost,
+    edge_cut_ratio,
+    latency_summary,
+    load_imbalance,
+    partition_balance,
+    percentile,
+    relative_standard_deviation,
+    replication_factor,
+    summarize,
+    vertex_replica_counts,
+)
+from repro.partitioning.base import EdgePartition, VertexPartition
+
+
+class TestEdgeCutRatio:
+    def test_no_cut(self, tiny_graph):
+        p = VertexPartition(2, [0] * 6)
+        assert edge_cut_ratio(tiny_graph, p) == 0.0
+
+    def test_all_cut(self, tiny_graph):
+        # Alternate partitions so every edge crosses.
+        p = VertexPartition(2, [0, 1, 0, 1, 0, 1])
+        # Edges: 0-1 cut, 0-2 same, 1-2 cut, 2-3 cut, 3-4 cut, 4-5 cut, 5-3 same
+        assert edge_cut_ratio(tiny_graph, p) == pytest.approx(5 / 7)
+
+    def test_empty_graph(self):
+        from repro.graph.generators import empty_graph
+        g = empty_graph(3)
+        p = VertexPartition(2, [0, 1, 0])
+        assert edge_cut_ratio(g, p) == 0.0
+
+    def test_size_mismatch_rejected(self, tiny_graph):
+        with pytest.raises(PartitioningError):
+            edge_cut_ratio(tiny_graph, VertexPartition(2, [0, 1]))
+
+    def test_bounds(self, small_twitter):
+        from repro.partitioning import HashVertexPartitioner
+        p = HashVertexPartitioner().partition(small_twitter, 5)
+        assert 0.0 <= edge_cut_ratio(small_twitter, p) <= 1.0
+
+
+class TestReplicationFactor:
+    def test_single_partition_rf_one(self, tiny_graph):
+        p = EdgePartition(1, [0] * 7)
+        assert replication_factor(tiny_graph, p) == 1.0
+
+    def test_known_counts(self):
+        g = Graph(3, np.array([0, 0]), np.array([1, 2]))
+        p = EdgePartition(2, [0, 1])
+        counts = vertex_replica_counts(g, p)
+        assert counts.tolist() == [2, 1, 1]
+        assert replication_factor(g, p) == pytest.approx(4 / 3)
+
+    def test_isolated_vertices_excluded_by_default(self):
+        g = Graph(5, np.array([0]), np.array([1]))
+        p = EdgePartition(2, [0])
+        assert replication_factor(g, p) == 1.0
+        assert replication_factor(g, p, include_isolated=True) == \
+            pytest.approx(2 / 5)
+
+    def test_upper_bound_k(self, small_twitter):
+        from repro.partitioning import HashEdgePartitioner
+        p = HashEdgePartitioner().partition(small_twitter, 4)
+        assert replication_factor(small_twitter, p) <= 4.0
+
+    def test_size_mismatch_rejected(self, tiny_graph):
+        with pytest.raises(PartitioningError):
+            replication_factor(tiny_graph, EdgePartition(2, [0]))
+
+
+class TestBalance:
+    def test_perfect(self):
+        assert load_imbalance(np.array([5, 5, 5])) == 1.0
+
+    def test_skewed(self):
+        assert load_imbalance(np.array([9, 1, 2])) == pytest.approx(9 / 4)
+
+    def test_empty(self):
+        assert load_imbalance(np.array([])) == 1.0
+        assert load_imbalance(np.array([0, 0])) == 1.0
+
+    def test_partition_balance_native_units(self, tiny_graph):
+        vp = VertexPartition(2, [0, 0, 0, 1, 1, 1])
+        assert partition_balance(tiny_graph, vp) == 1.0
+        ep = EdgePartition(2, [0] * 6 + [1])
+        assert partition_balance(tiny_graph, ep) == pytest.approx(6 / 3.5)
+
+
+class TestCommunicationCost:
+    def test_dispatch_by_model(self, tiny_graph):
+        vp = VertexPartition(2, [0, 1, 0, 1, 0, 1])
+        ep = EdgePartition(2, [0, 1, 0, 1, 0, 1, 0])
+        assert communication_cost(tiny_graph, vp) == \
+            edge_cut_ratio(tiny_graph, vp)
+        assert communication_cost(tiny_graph, ep) == \
+            replication_factor(tiny_graph, ep)
+
+
+class TestRuntimeSummaries:
+    def test_summarize_known(self):
+        dist = summarize([1, 2, 3, 4, 5])
+        assert dist.minimum == 1
+        assert dist.median == 3
+        assert dist.maximum == 5
+        assert dist.mean == 3
+        assert dist.spread == 4
+
+    def test_summarize_empty(self):
+        dist = summarize([])
+        assert dist.maximum == 0.0
+        assert dist.max_over_mean == 1.0
+
+    def test_max_over_mean(self):
+        assert summarize([1, 1, 4]).max_over_mean == pytest.approx(2.0)
+
+    def test_as_tuple(self):
+        assert len(summarize([1, 2]).as_tuple()) == 5
+
+    def test_rsd(self):
+        assert relative_standard_deviation([5, 5, 5]) == 0.0
+        assert relative_standard_deviation([]) == 0.0
+        assert relative_standard_deviation([0, 0]) == 0.0
+        assert relative_standard_deviation([1, 3]) == pytest.approx(0.5)
+
+    def test_percentile(self):
+        values = list(range(101))
+        assert percentile(values, 99) == pytest.approx(99.0)
+        assert percentile([], 99) == 0.0
+
+    def test_latency_summary(self):
+        summary = latency_summary([0.01] * 99 + [1.0])
+        assert summary.count == 100
+        assert summary.p99 > 0.9 * summary.p99  # sanity
+        assert summary.mean == pytest.approx((0.01 * 99 + 1.0) / 100)
+
+    def test_latency_summary_empty(self):
+        summary = latency_summary([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+def test_property_replica_counts_consistent(assignments):
+    """For any edge partition over a fixed graph, |A(v)| is between 1 and
+    min(k, degree) for incident vertices, and rf is their mean."""
+    m = len(assignments)
+    rng = np.random.default_rng(7)
+    src = rng.integers(0, 10, m)
+    dst = (src + 1 + rng.integers(0, 9, m)) % 10
+    g = Graph(10, src, dst)
+    p = EdgePartition(4, assignments)
+    counts = vertex_replica_counts(g, p)
+    degree = g.degree
+    for v in range(10):
+        if degree[v] == 0:
+            assert counts[v] == 0
+        else:
+            assert 1 <= counts[v] <= min(4, degree[v])
+    active = counts[degree > 0]
+    assert replication_factor(g, p) == pytest.approx(active.mean())

@@ -1,0 +1,195 @@
+"""Tests for the edge-cut SGP algorithms (ECR, LDG, FENNEL, restreaming)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import VertexStream
+from repro.graph.generators import star_graph
+from repro.metrics import edge_cut_ratio, partition_balance
+from repro.partitioning import (
+    FennelPartitioner,
+    HashVertexPartitioner,
+    LdgPartitioner,
+    RestreamingFennelPartitioner,
+    RestreamingLdgPartitioner,
+)
+
+
+class TestHashVertexPartitioner:
+    def test_complete_and_in_range(self, small_twitter):
+        p = HashVertexPartitioner().partition(small_twitter, 8)
+        assert p.is_complete()
+        assert p.assignment.max() < 8
+
+    def test_deterministic_across_orders(self, small_twitter):
+        a = HashVertexPartitioner().partition(small_twitter, 8, order="random",
+                                              seed=1)
+        b = HashVertexPartitioner().partition(small_twitter, 8, order="bfs")
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_different_hash_seeds_differ(self, small_twitter):
+        a = HashVertexPartitioner(hash_seed=1).partition(small_twitter, 8)
+        b = HashVertexPartitioner(hash_seed=2).partition(small_twitter, 8)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_expected_cut_ratio(self, random_graph):
+        """Uniform hashing cuts (1 - 1/k) of edges in expectation."""
+        for k in (2, 4, 8):
+            p = HashVertexPartitioner().partition(random_graph, k)
+            expected = 1.0 - 1.0 / k
+            assert abs(edge_cut_ratio(random_graph, p) - expected) < 0.05
+
+    def test_balance(self, small_twitter):
+        p = HashVertexPartitioner().partition(small_twitter, 4)
+        assert partition_balance(small_twitter, p) < 1.15
+
+    def test_assign_matches_partition(self, small_twitter):
+        partitioner = HashVertexPartitioner()
+        p = partitioner.partition(small_twitter, 8)
+        assert p.assignment[17] == partitioner.assign(17, 8)
+
+    def test_k1_everything_in_partition_zero(self, small_twitter):
+        p = HashVertexPartitioner().partition(small_twitter, 1)
+        assert np.all(p.assignment == 0)
+
+
+class TestLdg:
+    def test_complete(self, small_twitter):
+        p = LdgPartitioner(seed=0).partition(small_twitter, 8, order="random",
+                                             seed=1)
+        assert p.is_complete()
+
+    def test_strict_balance(self, small_twitter):
+        """LDG's multiplicative weights never exceed C = ceil(beta n/k)."""
+        p = LdgPartitioner(seed=0).partition(small_twitter, 7, order="random",
+                                             seed=1)
+        capacity = math.ceil(small_twitter.num_vertices / 7)
+        assert p.sizes().max() <= capacity
+
+    def test_beats_hashing_on_clustered_graph(self, small_social):
+        hashed = HashVertexPartitioner().partition(small_social, 8)
+        greedy = LdgPartitioner(seed=0).partition(small_social, 8,
+                                                  order="random", seed=1)
+        assert (edge_cut_ratio(small_social, greedy)
+                < edge_cut_ratio(small_social, hashed) - 0.05)
+
+    def test_path_graph_contiguous_chunks(self):
+        """On a path streamed in order, LDG cuts only at chunk borders."""
+        from repro.graph.generators import path_graph
+        g = path_graph(100)
+        p = LdgPartitioner(seed=0).partition(g, 4, order="natural")
+        assert edge_cut_ratio(g, p) <= 4 / 99
+
+    def test_invalid_slack(self):
+        with pytest.raises(ConfigurationError):
+            LdgPartitioner(balance_slack=0.5)
+
+    def test_seed_reproducible(self, small_social):
+        a = LdgPartitioner(seed=5).partition(small_social, 4, order="random",
+                                             seed=2)
+        b = LdgPartitioner(seed=5).partition(small_social, 4, order="random",
+                                             seed=2)
+        assert np.array_equal(a.assignment, b.assignment)
+
+
+class TestFennel:
+    def test_complete(self, small_twitter):
+        p = FennelPartitioner(seed=0).partition(small_twitter, 8,
+                                                order="random", seed=1)
+        assert p.is_complete()
+
+    def test_load_cap_respected(self, small_twitter):
+        p = FennelPartitioner(load_cap=1.1, seed=0).partition(
+            small_twitter, 8, order="random", seed=1)
+        cap = 1.1 * small_twitter.num_vertices / 8
+        assert p.sizes().max() <= cap + 1
+
+    def test_beats_hashing_on_clustered_graph(self, small_social):
+        hashed = HashVertexPartitioner().partition(small_social, 8)
+        fennel = FennelPartitioner(seed=0).partition(small_social, 8,
+                                                     order="random", seed=1)
+        assert (edge_cut_ratio(small_social, fennel)
+                < edge_cut_ratio(small_social, hashed) - 0.05)
+
+    def test_explicit_alpha(self, small_social):
+        p = FennelPartitioner(alpha=0.5, seed=0).partition(small_social, 4,
+                                                           order="random",
+                                                           seed=1)
+        assert p.is_complete()
+
+    def test_alpha_requires_num_edges_for_raw_streams(self, small_social):
+        stream = VertexStream(small_social)
+        partitioner = FennelPartitioner(seed=0)
+
+        class Opaque:
+            """Stream without a backing graph attribute."""
+
+            def __iter__(self):
+                return iter(stream)
+
+        with pytest.raises(ConfigurationError):
+            partitioner.partition_stream(
+                Opaque(), 4, num_vertices=small_social.num_vertices)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FennelPartitioner(gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            FennelPartitioner(load_cap=0.9)
+
+    def test_larger_gamma_tightens_balance(self, small_twitter):
+        loose = FennelPartitioner(gamma=1.2, seed=0).partition(
+            small_twitter, 8, order="random", seed=1)
+        tight = FennelPartitioner(gamma=3.0, seed=0).partition(
+            small_twitter, 8, order="random", seed=1)
+        assert (partition_balance(small_twitter, tight)
+                <= partition_balance(small_twitter, loose) + 1e-9)
+
+
+class TestRestreaming:
+    def test_reldg_improves_over_passes(self, small_social):
+        one = RestreamingLdgPartitioner(num_passes=1, seed=0).partition(
+            small_social, 8, order="random", seed=1)
+        five = RestreamingLdgPartitioner(num_passes=5, seed=0).partition(
+            small_social, 8, order="random", seed=1)
+        assert (edge_cut_ratio(small_social, five)
+                <= edge_cut_ratio(small_social, one))
+
+    def test_one_pass_matches_ldg_quality_roughly(self, small_social):
+        ldg = LdgPartitioner(seed=0).partition(small_social, 8,
+                                               order="random", seed=1)
+        re1 = RestreamingLdgPartitioner(num_passes=1, seed=0).partition(
+            small_social, 8, order="random", seed=1)
+        assert abs(edge_cut_ratio(small_social, ldg)
+                   - edge_cut_ratio(small_social, re1)) < 0.1
+
+    def test_refennel_improves_over_passes(self, small_social):
+        one = RestreamingFennelPartitioner(num_passes=1, seed=0).partition(
+            small_social, 8, order="random", seed=1)
+        five = RestreamingFennelPartitioner(num_passes=5, seed=0).partition(
+            small_social, 8, order="random", seed=1)
+        assert (edge_cut_ratio(small_social, five)
+                <= edge_cut_ratio(small_social, one) + 0.02)
+
+    def test_complete_and_balanced(self, small_social):
+        p = RestreamingLdgPartitioner(num_passes=3, seed=0).partition(
+            small_social, 6, order="random", seed=1)
+        assert p.is_complete()
+        capacity = math.ceil(small_social.num_vertices / 6)
+        assert p.sizes().max() <= capacity
+
+    def test_invalid_passes(self):
+        with pytest.raises(ConfigurationError):
+            RestreamingLdgPartitioner(num_passes=0)
+
+    def test_star_graph_hub_with_leaves(self):
+        """The star's hub ends in a partition with some of its leaves."""
+        g = star_graph(40)
+        p = RestreamingLdgPartitioner(num_passes=3, seed=0).partition(
+            g, 4, order="random", seed=1)
+        hub = p.assignment[0]
+        leaves_with_hub = int((p.assignment[1:] == hub).sum())
+        assert leaves_with_hub > 0

@@ -1,0 +1,189 @@
+"""Tests for the Appendix-A extensions: heterogeneous capacities,
+incremental placement and Hermes-style refinement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.metrics import edge_cut_ratio, load_imbalance
+from repro.partitioning import (
+    HeterogeneousFennelPartitioner,
+    HeterogeneousLdgPartitioner,
+    IncrementalEdgeCutPartitioner,
+    LdgPartitioner,
+    hermes_refine,
+    make_partitioner,
+)
+from repro.partitioning.base import UNASSIGNED, VertexPartition
+from repro.partitioning.heterogeneous import normalize_shares
+
+
+class TestNormalizeShares:
+    def test_normalises(self):
+        shares = normalize_shares([1, 1, 2], 3)
+        assert shares.tolist() == [0.25, 0.25, 0.5]
+
+    def test_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            normalize_shares([1, 2], 3)
+
+    def test_positive_checked(self):
+        with pytest.raises(ConfigurationError):
+            normalize_shares([1, 0, 1], 3)
+
+
+class TestHeterogeneousLdg:
+    def test_uniform_shares_behave_like_ldg(self, small_social):
+        uniform = HeterogeneousLdgPartitioner([1, 1, 1, 1], seed=0).partition(
+            small_social, 4, order="random", seed=1)
+        plain = LdgPartitioner(seed=0).partition(small_social, 4,
+                                                 order="random", seed=1)
+        assert abs(edge_cut_ratio(small_social, uniform)
+                   - edge_cut_ratio(small_social, plain)) < 0.08
+        assert load_imbalance(uniform.sizes()) < 1.1
+
+    def test_sizes_track_shares(self, small_social):
+        shares = [1, 1, 2, 4]
+        p = HeterogeneousLdgPartitioner(shares, seed=0).partition(
+            small_social, 4, order="random", seed=1)
+        sizes = p.sizes().astype(float)
+        fractions = sizes / sizes.sum()
+        expected = np.array(shares) / sum(shares)
+        assert np.all(np.abs(fractions - expected) < 0.10)
+
+    def test_capacity_never_exceeded(self, small_social):
+        shares = np.array([1.0, 3.0])
+        p = HeterogeneousLdgPartitioner(shares, balance_slack=1.0,
+                                        seed=0).partition(
+            small_social, 2, order="random", seed=1)
+        capacities = np.ceil(shares / shares.sum()
+                             * small_social.num_vertices)
+        assert np.all(p.sizes() <= capacities + 1)
+
+    def test_invalid_slack(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousLdgPartitioner([1, 1], balance_slack=0.5)
+
+
+class TestHeterogeneousFennel:
+    def test_complete_and_tracks_shares(self, small_social):
+        shares = [1, 2, 2, 3]
+        p = HeterogeneousFennelPartitioner(shares, seed=0).partition(
+            small_social, 4, order="random", seed=1)
+        assert p.is_complete()
+        fractions = p.sizes() / small_social.num_vertices
+        expected = np.array(shares) / sum(shares)
+        assert np.all(np.abs(fractions - expected) < 0.15)
+
+    def test_cut_quality_retained(self, small_social):
+        het = HeterogeneousFennelPartitioner([1, 1, 1, 1], seed=0).partition(
+            small_social, 4, order="random", seed=1)
+        hashed = make_partitioner("ecr").partition(small_social, 4)
+        assert (edge_cut_ratio(small_social, het)
+                < edge_cut_ratio(small_social, hashed))
+
+    def test_requires_alpha_or_edges(self, small_social):
+        from repro.graph import VertexStream
+        stream = VertexStream(small_social)
+
+        class Opaque:
+            def __iter__(self):
+                return iter(stream)
+
+        with pytest.raises(ConfigurationError):
+            HeterogeneousFennelPartitioner([1, 1]).partition_stream(
+                Opaque(), 2, num_vertices=small_social.num_vertices)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousFennelPartitioner([1, 1], gamma=1.0)
+        with pytest.raises(ConfigurationError):
+            HeterogeneousFennelPartitioner([1, 1], load_cap=0.5)
+
+
+class TestIncrementalPlacement:
+    def test_new_vertex_joins_neighbour_majority(self, small_social):
+        base = LdgPartitioner(seed=0).partition(small_social, 4,
+                                                order="random", seed=1)
+        incremental = IncrementalEdgeCutPartitioner(base, seed=0)
+        # A new vertex whose neighbours all live in one partition.
+        members = np.flatnonzero(base.assignment == 2)[:5]
+        chosen = incremental.add_vertex(members)
+        assert chosen == 2
+
+    def test_assignment_grows(self, small_social):
+        base = LdgPartitioner(seed=0).partition(small_social, 4,
+                                                order="random", seed=1)
+        incremental = IncrementalEdgeCutPartitioner(base, seed=0)
+        incremental.add_vertex([0, 1])
+        snapshot = incremental.to_partition()
+        assert snapshot.num_vertices == small_social.num_vertices + 1
+        assert snapshot.is_complete()
+
+    def test_balance_pressure_with_no_neighbours(self, small_social):
+        base = LdgPartitioner(seed=0).partition(small_social, 4,
+                                                order="random", seed=1)
+        incremental = IncrementalEdgeCutPartitioner(base, seed=0)
+        sizes_before = base.sizes()
+        chosen = incremental.add_vertex([])
+        # With no neighbour signal, the vertex lands on one of the
+        # least-loaded partitions (ties break randomly).
+        assert sizes_before[chosen] == sizes_before.min()
+
+    def test_incomplete_base_rejected(self):
+        base = VertexPartition(2, [0, UNASSIGNED])
+        with pytest.raises(PartitioningError):
+            IncrementalEdgeCutPartitioner(base)
+
+    def test_unknown_neighbours_ignored(self, small_social):
+        base = LdgPartitioner(seed=0).partition(small_social, 4,
+                                                order="random", seed=1)
+        incremental = IncrementalEdgeCutPartitioner(base, seed=0)
+        chosen = incremental.add_vertex([10**7])
+        assert 0 <= chosen < 4
+
+
+class TestHermesRefine:
+    def test_cut_never_worse(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 8)
+        refined = hermes_refine(small_social, base, seed=1)
+        assert (edge_cut_ratio(small_social, refined)
+                <= edge_cut_ratio(small_social, base))
+
+    def test_improves_hash_partitioning_substantially(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 8)
+        refined = hermes_refine(small_social, base, seed=1)
+        assert (edge_cut_ratio(small_social, refined)
+                < 0.9 * edge_cut_ratio(small_social, base))
+
+    def test_balance_respected(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 8)
+        refined = hermes_refine(small_social, base, balance_slack=1.1, seed=1)
+        assert refined.sizes().max() <= 1.12 * small_social.num_vertices / 8
+
+    def test_input_not_modified(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 8)
+        before = base.assignment.copy()
+        hermes_refine(small_social, base, seed=1)
+        assert np.array_equal(base.assignment, before)
+
+    def test_algorithm_label(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 4)
+        refined = hermes_refine(small_social, base, seed=1)
+        assert refined.algorithm == "ecr+hermes"
+
+    def test_converged_input_unchanged(self):
+        from repro.graph.generators import path_graph
+        g = path_graph(8)
+        # Perfect split of a path: nothing to improve.
+        base = VertexPartition(2, [0, 0, 0, 0, 1, 1, 1, 1])
+        refined = hermes_refine(g, base, seed=1)
+        assert edge_cut_ratio(g, refined) == edge_cut_ratio(g, base)
+
+    def test_validation(self, small_social):
+        base = make_partitioner("ecr").partition(small_social, 4)
+        with pytest.raises(ConfigurationError):
+            hermes_refine(small_social, base, balance_slack=0.5)
+        short = VertexPartition(2, [0, 1])
+        with pytest.raises(PartitioningError):
+            hermes_refine(small_social, short)

@@ -1,0 +1,113 @@
+"""Tests for partition serialisation (TSV / npz round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.partitioning import (
+    HdrfPartitioner,
+    HybridHashPartitioner,
+    LdgPartitioner,
+    load_partition_npz,
+    read_partition_tsv,
+    save_partition_npz,
+    write_partition_tsv,
+)
+from repro.partitioning.base import EdgePartition, VertexPartition
+
+
+class TestTsvRoundTrip:
+    def test_vertex_partition(self, small_road, tmp_path):
+        original = LdgPartitioner(seed=0).partition(small_road, 8,
+                                                    order="random", seed=1)
+        path = tmp_path / "p.tsv"
+        write_partition_tsv(original, path)
+        loaded = read_partition_tsv(path)
+        assert isinstance(loaded, VertexPartition)
+        assert loaded.num_partitions == 8
+        assert loaded.algorithm == "ldg"
+        assert np.array_equal(loaded.assignment, original.assignment)
+
+    def test_edge_partition(self, small_road, tmp_path):
+        original = HdrfPartitioner(seed=0).partition(small_road, 4,
+                                                     order="random", seed=1)
+        path = tmp_path / "p.tsv"
+        write_partition_tsv(original, path)
+        loaded = read_partition_tsv(path)
+        assert isinstance(loaded, EdgePartition)
+        assert np.array_equal(loaded.assignment, original.assignment)
+
+    def test_comment_in_header(self, tmp_path):
+        partition = VertexPartition(2, [0, 1, 0])
+        path = tmp_path / "p.tsv"
+        write_partition_tsv(partition, path, comment="seed=42")
+        assert "seed=42" in path.read_text().splitlines()[0]
+
+    def test_non_dense_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# kind=vertex k=2\n0\t0\n2\t1\n")
+        with pytest.raises(GraphFormatError):
+            read_partition_tsv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0 0\n")
+        with pytest.raises(GraphFormatError):
+            read_partition_tsv(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("# kind=hyper k=2\n0\t0\n")
+        with pytest.raises(GraphFormatError):
+            read_partition_tsv(path)
+
+    def test_k_inferred_when_missing(self, tmp_path):
+        path = tmp_path / "p.tsv"
+        path.write_text("0\t0\n1\t3\n")
+        loaded = read_partition_tsv(path)
+        assert loaded.num_partitions == 4
+
+
+class TestNpzRoundTrip:
+    def test_vertex_partition(self, small_road, tmp_path):
+        original = LdgPartitioner(seed=0).partition(small_road, 8,
+                                                    order="random", seed=1)
+        path = tmp_path / "p.npz"
+        save_partition_npz(original, path)
+        loaded = load_partition_npz(path)
+        assert isinstance(loaded, VertexPartition)
+        assert np.array_equal(loaded.assignment, original.assignment)
+        assert loaded.algorithm == original.algorithm
+
+    def test_edge_partition_with_masters(self, small_road, tmp_path):
+        original = HybridHashPartitioner().partition(small_road, 4)
+        path = tmp_path / "p.npz"
+        save_partition_npz(original, path)
+        loaded = load_partition_npz(path)
+        assert isinstance(loaded, EdgePartition)
+        assert np.array_equal(loaded.masters, original.masters)
+
+    def test_edge_partition_without_masters(self, small_road, tmp_path):
+        original = HdrfPartitioner(seed=0).partition(small_road, 4,
+                                                     order="random", seed=1)
+        path = tmp_path / "p.npz"
+        save_partition_npz(original, path)
+        loaded = load_partition_npz(path)
+        assert loaded.masters is None
+
+
+class TestCliEvaluate:
+    def test_evaluate_round_trip(self, tmp_path, capsys):
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import write_edge_list
+        from repro.tools.partition_cli import main
+
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(erdos_renyi(100, 600, seed=2), graph_path)
+        tsv = tmp_path / "p.tsv"
+        assert main([str(graph_path), "-a", "ldg", "-k", "4",
+                     "-o", str(tsv)]) == 0
+        capsys.readouterr()
+        assert main([str(graph_path), "--evaluate", str(tsv)]) == 0
+        out = capsys.readouterr().out
+        assert "from" in out and "edge-cut" in out

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) on the core partitioning invariants.
+
+Every streaming partitioner, for any random graph, stream order and k,
+must produce a complete assignment into [0, k) — and the structural
+metrics must respect their analytic bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.metrics import (
+    edge_cut_ratio,
+    partition_balance,
+    replication_factor,
+    vertex_replica_counts,
+)
+from repro.partitioning import available_algorithms, make_partitioner
+from repro.partitioning.base import VertexPartition
+
+_SETTINGS = settings(max_examples=20, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graphs(draw):
+    """Small random multigraphs with 2..40 vertices, 1..120 edges."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    offset = rng.integers(1, n, m)
+    dst = (src + offset) % n
+    return Graph(n, src, dst)
+
+
+@pytest.mark.parametrize("algorithm", sorted(available_algorithms()))
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=9),
+       order=st.sampled_from(["natural", "random", "bfs", "dfs"]))
+@_SETTINGS
+def test_property_partitioner_contract(algorithm, graph, k, order):
+    """Completeness + range + metric bounds for every algorithm."""
+    partitioner = make_partitioner(algorithm)
+    partition = partitioner.partition(graph, k, order=order, seed=7)
+    assert partition.is_complete()
+    assert partition.num_partitions == k
+    assert partition.assignment.min() >= 0
+    assert partition.assignment.max() < k
+
+    if isinstance(partition, VertexPartition):
+        assert partition.num_vertices == graph.num_vertices
+        ratio = edge_cut_ratio(graph, partition)
+        assert 0.0 <= ratio <= 1.0
+        if k == 1:
+            assert ratio == 0.0
+    else:
+        assert partition.num_edges == graph.num_edges
+        rf = replication_factor(graph, partition)
+        assert 1.0 <= rf <= k
+        counts = vertex_replica_counts(graph, partition)
+        degree = graph.degree
+        active = degree > 0
+        assert np.all(counts[active] <= np.minimum(k, degree[active]))
+        if k == 1:
+            assert rf == 1.0
+    assert partition_balance(graph, partition) >= 1.0
+
+
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6))
+@_SETTINGS
+def test_property_conversion_preserves_cut_structure(graph, k):
+    """Appendix B conversion: the derived placement's mirrors-for-targets
+    equal the distinct source partitions seen by each vertex's in-edges."""
+    from repro.partitioning import HashVertexPartitioner, edge_cut_to_edge_partition
+    vp = HashVertexPartitioner().partition(graph, k)
+    ep = edge_cut_to_edge_partition(graph, vp)
+    assert np.array_equal(ep.assignment, vp.assignment[graph.src])
+    counts = vertex_replica_counts(graph, ep)
+    # Recompute independently per vertex.
+    for v in range(graph.num_vertices):
+        parts = set()
+        for u in graph.in_neighbors(v).tolist():
+            parts.add(int(vp.assignment[u]))
+        for _w in graph.out_neighbors(v).tolist():
+            parts.add(int(vp.assignment[v]))
+        assert counts[v] == len(parts)
+
+
+@given(graph=graphs(), k=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=100))
+@_SETTINGS
+def test_property_multilevel_balance(graph, k, seed):
+    """The offline partitioner respects its balance slack whenever the
+    constraint is satisfiable (unit weights always are, up to rounding)."""
+    from repro.partitioning import multilevel_partition
+    partition = multilevel_partition(graph, k, balance_slack=1.3, seed=seed)
+    assert partition.is_complete()
+    sizes = partition.sizes()
+    assert sizes.max() <= max(1.3 * graph.num_vertices / k + 1, 1)
+
+
+@given(graph=graphs())
+@_SETTINGS
+def test_property_placement_consistency(graph):
+    """Placement invariants: replica counts bound mirrors, masters valid."""
+    from repro.analytics import Placement
+    from repro.partitioning import HashEdgePartitioner
+    ep = HashEdgePartitioner().partition(graph, 4)
+    placement = Placement(graph, ep)
+    assert placement.master.min() >= 0
+    assert placement.master.max() < 4
+    assert np.all(placement.mirror_counts_out <= placement.mirror_counts_all)
+    assert np.all(placement.replica_counts >= 1)
+    assert placement.edges_per_partition().sum() == graph.num_edges
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                max_size=50))
+@_SETTINGS
+def test_property_distribution_summary_ordering(values):
+    from repro.metrics import summarize
+    dist = summarize(values)
+    assert dist.minimum <= dist.p25 <= dist.median <= dist.p75 <= dist.maximum
+    assert dist.minimum <= dist.mean <= dist.maximum
+
+
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=5))
+@_SETTINGS
+def test_property_engine_conserves_pagerank(graph, k):
+    """Distribution never changes the numerical result: ranks sum to 1
+    and match a single-partition run."""
+    from repro.analytics import PageRank, run_workload
+    from repro.partitioning import HashVertexPartitioner
+    vp = HashVertexPartitioner().partition(graph, k)
+    workload = PageRank(num_iterations=5)
+    run_workload(graph, vp, workload)
+    assert workload.result().sum() == pytest.approx(1.0, abs=1e-6)

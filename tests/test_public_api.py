@@ -1,0 +1,100 @@
+"""Tests for the top-level public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    GraphFormatError,
+    PartitioningError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_error_hierarchy(self):
+        for exc in (ConfigurationError, GraphFormatError, PartitioningError,
+                    SimulationError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_single_catch_all(self):
+        with pytest.raises(ReproError):
+            repro.make_partitioner("nonexistent")
+
+
+class TestDocstringExample:
+    def test_readme_quickstart_works(self):
+        """The README / package-docstring example must keep working."""
+        from repro.graph.generators import twitter_like
+        from repro.metrics import replication_factor
+        from repro.partitioning import make_partitioner
+
+        graph = twitter_like(num_vertices=1000, seed=7)
+        partition = make_partitioner("hdrf").partition(graph, 16,
+                                                       order="random", seed=1)
+        rf = replication_factor(graph, partition)
+        assert 1.0 <= rf <= 16.0
+
+
+class TestEndToEnd:
+    def test_full_pipeline_offline(self):
+        """Generate -> stream-partition -> place -> execute -> summarise."""
+        from repro.analytics import PageRank, run_workload
+        from repro.graph.generators import ldbc_like
+        from repro.partitioning import make_partitioner
+
+        graph = ldbc_like(num_vertices=800, avg_degree=10, seed=1)
+        partition = make_partitioner("hg").partition(graph, 4,
+                                                     order="random", seed=2)
+        run = run_workload(graph, partition, PageRank(num_iterations=3))
+        assert run.num_iterations == 3
+        assert run.total_network_bytes > 0
+        assert run.compute_distribution().maximum > 0
+
+    def test_full_pipeline_online(self):
+        """Generate -> partition -> bind -> simulate -> record -> reweight."""
+        from repro.database import (
+            WorkloadGenerator,
+            plan_query,
+            record_workload,
+            simulate_workload,
+        )
+        from repro.graph.generators import ldbc_like
+        from repro.partitioning import make_partitioner, workload_aware_partition
+
+        graph = ldbc_like(num_vertices=800, avg_degree=10, seed=1)
+        bindings = WorkloadGenerator(graph, skew=0.5, seed=3).bindings(
+            "one_hop", 100)
+        baseline = make_partitioner("ecr").partition(graph, 4)
+        result = simulate_workload(graph, baseline, bindings, duration=0.2)
+        assert result.completed_queries > 0
+
+        log = record_workload(
+            graph, [plan_query(graph, b.kind, b.start_vertex)
+                    for b in bindings])
+        weighted = workload_aware_partition(graph, 4, log.vertex_reads, seed=4)
+        assert weighted.is_complete()
+
+    def test_io_round_trip_through_partitioning(self, tmp_path):
+        """Serialise a graph, reload it, and partition identically."""
+        from repro.graph.generators import erdos_renyi
+        from repro.graph.io import read_edge_list, write_edge_list
+        from repro.partitioning import make_partitioner
+
+        graph = erdos_renyi(100, 500, seed=5)
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        reloaded = read_edge_list(path, num_vertices=100)
+        a = make_partitioner("ecr").partition(graph, 4)
+        b = make_partitioner("ecr").partition(reloaded, 4)
+        assert np.array_equal(a.assignment, b.assignment)
