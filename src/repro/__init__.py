@@ -14,6 +14,9 @@ The package provides, from scratch:
   PageRank, WCC, SSSP);
 * :mod:`repro.database` — a JanusGraph-style distributed graph database
   simulator (online workloads: 1-hop, 2-hop, shortest path);
+* :mod:`repro.faults` — deterministic fault injection for both
+  substrates: crash/recover schedules, retries with failover, chaos
+  regression harness (see ``docs/fault_tolerance.md``);
 * :mod:`repro.experiments` — one entry point per paper table/figure,
   also available as ``python -m repro <experiment-id>``.
 
@@ -30,10 +33,22 @@ Quickstart::
 
 from repro.errors import (
     ConfigurationError,
+    FaultInjectionError,
     GraphFormatError,
     PartitioningError,
+    QueryTimeoutError,
     ReproError,
     SimulationError,
+    WorkerFailedError,
+)
+from repro.faults import (
+    ChaosHarness,
+    ChaosReport,
+    CrashInterval,
+    FaultSchedule,
+    ReplicaMap,
+    RetryPolicy,
+    SlowdownInterval,
 )
 from repro.graph import EdgeStream, Graph, GraphBuilder, VertexStream
 from repro.metrics import edge_cut_ratio, load_imbalance, replication_factor
@@ -55,6 +70,16 @@ __all__ = [
     "GraphFormatError",
     "PartitioningError",
     "SimulationError",
+    "FaultInjectionError",
+    "WorkerFailedError",
+    "QueryTimeoutError",
+    "FaultSchedule",
+    "CrashInterval",
+    "SlowdownInterval",
+    "RetryPolicy",
+    "ReplicaMap",
+    "ChaosHarness",
+    "ChaosReport",
     "Graph",
     "GraphBuilder",
     "VertexStream",

@@ -48,6 +48,21 @@ class CostModel:
     bytes_per_message: float = 32.0
     bandwidth_bytes_per_sec: float = 2.5e8
     barrier_seconds: float = 5.0e-5
+    #: Fault-tolerance constants (exercised only when a fault schedule is
+    #: supplied to the engine — they never affect fault-free runs).
+    #: Cost of writing one coordinated checkpoint (all machines flush
+    #: their vertex state; scaled down with the barrier).
+    checkpoint_seconds: float = 2.0e-4
+    #: State re-fetched during recovery, per lost master vertex …
+    bytes_per_vertex_state: float = 64.0
+    #: … and per edge stored on the failed machine (edges are re-read
+    #: from the replicas' adjacency data).
+    bytes_per_edge_state: float = 16.0
+
+    def recovery_bytes(self, lost_vertices: int, lost_edges: int) -> float:
+        """Bytes migrated to re-home a failed machine's graph state."""
+        return (lost_vertices * self.bytes_per_vertex_state
+                + lost_edges * self.bytes_per_edge_state)
 
     def compute_seconds(self, edge_ops: float, vertex_ops: float) -> float:
         """CPU seconds for one machine in one super-step."""

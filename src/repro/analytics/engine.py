@@ -34,10 +34,13 @@ import numpy as np
 
 from repro.analytics.cost import DEFAULT_COST_MODEL, CostModel
 from repro.analytics.placement import Placement
-from repro.analytics.result import AnalyticsRun, IterationStats
+from repro.analytics.result import AnalyticsRun, IterationStats, RecoveryEvent
 from repro.analytics.workloads.base import Workload
-from repro.errors import SimulationError
+from repro.errors import FaultInjectionError, SimulationError
+from repro.faults import NO_FAULTS, FaultSchedule
 from repro.graph.digraph import Graph
+from repro.partitioning.base import VertexPartition
+from repro.partitioning.dynamic import reassign_lost_vertices
 
 
 class GasEngine:
@@ -54,10 +57,33 @@ class GasEngine:
         self.cost_model = cost_model
 
     def run(self, graph: Graph, placement: Placement,
-            workload: Workload) -> AnalyticsRun:
-        """Execute *workload* over *placement* and return the full trace."""
+            workload: Workload, *,
+            fault_schedule: FaultSchedule | None = None,
+            checkpoint_interval: int = 4) -> AnalyticsRun:
+        """Execute *workload* over *placement* and return the full trace.
+
+        Parameters
+        ----------
+        fault_schedule:
+            Optional :class:`~repro.faults.FaultSchedule`.  A worker crash
+            whose onset falls inside a superstep's wall-clock window
+            forces checkpoint-restart: every superstep since the last
+            checkpoint is re-executed and the dead machine's vertices are
+            re-homed onto the survivors via
+            :func:`repro.partitioning.dynamic.reassign_lost_vertices`.
+            ``None`` or the empty schedule leaves the run bit-identical to
+            the fault-free engine (the ChaosHarness invariant).
+        checkpoint_interval:
+            Write a coordinated checkpoint every this many supersteps
+            (only when a fault schedule is active).
+        """
         if placement.graph is not graph:
             raise SimulationError("placement was built for a different graph")
+        schedule = fault_schedule or NO_FAULTS
+        faulty = not schedule.is_empty
+        if checkpoint_interval < 1:
+            raise FaultInjectionError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}")
         k = placement.num_partitions
         src, dst = graph.src, graph.dst
         edge_parts = placement.edge_parts
@@ -68,7 +94,13 @@ class GasEngine:
             algorithm=placement.algorithm,
             num_partitions=k,
             replication_factor=placement.replication_factor(),
+            checkpoint_interval=checkpoint_interval if faulty else None,
         )
+        #: Simulated wall clock (fault path only): where superstep windows
+        #: sit in time decides which crash onsets strike which superstep.
+        clock = 0.0
+        covered_until = 0.0
+        last_checkpoint_step = 0
 
         for step, activity in enumerate(workload.iterations(graph)):
             gather_msgs = 0
@@ -144,11 +176,91 @@ class GasEngine:
                 compute_seconds=compute,
                 wall_seconds=wall,
             ))
+
+            if faulty:
+                clock += wall
+                # Each window starts where the previous one ended (before
+                # any recovery/checkpoint time was appended), so those
+                # periods are covered by the next window and no crash
+                # onset can fall between windows unnoticed.
+                window_end = clock
+                for crash in schedule.crash_starts_in(covered_until,
+                                                      window_end):
+                    if crash.worker >= k:
+                        continue
+                    event = self._recover(graph, placement, run, schedule,
+                                          crash, step, last_checkpoint_step)
+                    clock += event.recovery_seconds
+                covered_until = window_end
+                if (step + 1) % checkpoint_interval == 0:
+                    clock += self.cost_model.checkpoint_seconds
+                    run.checkpoint_seconds_total += \
+                        self.cost_model.checkpoint_seconds
+                    last_checkpoint_step = step + 1
         return run
+
+    # ------------------------------------------------------------------
+    def _recover(self, graph: Graph, placement: Placement, run: AnalyticsRun,
+                 schedule: FaultSchedule, crash, step: int,
+                 last_checkpoint_step: int) -> RecoveryEvent:
+        """Checkpoint-restart recovery for a crash during superstep *step*.
+
+        Two cost components, both functions of the partitioning under
+        test:
+
+        * **re-execution** — every superstep since the last checkpoint is
+          lost and re-run (their already-modelled wall times recur);
+        * **rebalancing** — the dead machine's master vertices are
+          re-homed onto the survivors with the LDG objective
+          (:func:`~repro.partitioning.dynamic.reassign_lost_vertices`);
+          its state is re-fetched from replicas, and every re-homed edge
+          that still crosses partitions needs a mirror re-registration
+          message.  Balance decides how much state is lost; locality
+          decides how cheaply it re-homes.
+        """
+        cost = self.cost_model
+        k = placement.num_partitions
+        lost_mask = placement.master == crash.worker
+        lost_vertices = int(np.count_nonzero(lost_mask))
+        lost_edges = int(np.count_nonzero(placement.edge_parts == crash.worker))
+        cross_edges = 0
+        if k > 1 and lost_vertices:
+            master_partition = VertexPartition(
+                k, placement.master, algorithm=placement.algorithm)
+            recovered = reassign_lost_vertices(
+                graph, master_partition, crash.worker, seed=schedule.seed)
+            touches = lost_mask[graph.src] | lost_mask[graph.dst]
+            cross = (recovered.assignment[graph.src[touches]]
+                     != recovered.assignment[graph.dst[touches]])
+            cross_edges = int(np.count_nonzero(cross))
+        migration_bytes = (cost.recovery_bytes(lost_vertices, lost_edges)
+                           + cross_edges * cost.bytes_per_message)
+        rebalance_seconds = cost.network_seconds(migration_bytes)
+        reexecuted = step - last_checkpoint_step + 1
+        reexec_seconds = float(sum(
+            it.wall_seconds
+            for it in run.iterations[last_checkpoint_step:step + 1]))
+        event = RecoveryEvent(
+            step=step,
+            worker=crash.worker,
+            time=crash.start,
+            reexecuted_supersteps=reexecuted,
+            lost_vertices=lost_vertices,
+            lost_edges=lost_edges,
+            migration_bytes=migration_bytes,
+            rebalance_seconds=rebalance_seconds,
+            recovery_seconds=reexec_seconds + rebalance_seconds,
+        )
+        run.recovery_events.append(event)
+        return event
 
 
 def run_workload(graph: Graph, partition, workload: Workload, *,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> AnalyticsRun:
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 fault_schedule: FaultSchedule | None = None,
+                 checkpoint_interval: int = 4) -> AnalyticsRun:
     """One-shot convenience: build the placement and run the workload."""
     placement = Placement(graph, partition)
-    return GasEngine(cost_model).run(graph, placement, workload)
+    return GasEngine(cost_model).run(graph, placement, workload,
+                                     fault_schedule=fault_schedule,
+                                     checkpoint_interval=checkpoint_interval)

@@ -26,6 +26,38 @@ class IterationStats:
         return self.gather_messages + self.mirror_update_messages
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One checkpoint-restart recovery after a mid-superstep crash.
+
+    Produced by the engine's fault-tolerance path (see
+    :mod:`repro.faults`): the failed superstep and everything since the
+    last checkpoint is re-executed, and the dead machine's graph state is
+    re-homed onto the survivors — so both components depend on the
+    partitioning under test (balance decides how much state is lost,
+    locality decides how cheaply it re-homes).
+    """
+
+    #: Superstep during which the crash struck.
+    step: int
+    #: The machine that failed.
+    worker: int
+    #: Simulated wall-clock time of the crash.
+    time: float
+    #: Supersteps re-executed from the last checkpoint (incl. the failed one).
+    reexecuted_supersteps: int
+    #: Master vertices lost with the machine.
+    lost_vertices: int
+    #: Edges stored on the machine.
+    lost_edges: int
+    #: State bytes migrated to re-home the lost vertices/edges.
+    migration_bytes: float
+    #: Wire time of the state migration.
+    rebalance_seconds: float
+    #: Total recovery wall time: re-execution + state migration.
+    recovery_seconds: float
+
+
 @dataclass
 class AnalyticsRun:
     """Full trace of one workload execution on one placement.
@@ -40,10 +72,32 @@ class AnalyticsRun:
     num_partitions: int
     replication_factor: float
     iterations: list[IterationStats] = field(default_factory=list)
+    #: Fault-tolerance trace (empty when no fault schedule was active).
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    #: Checkpoint interval used by the fault-tolerant path (None = the
+    #: fault-free engine, which writes no checkpoints).
+    checkpoint_interval: int | None = None
+    #: Total time spent writing checkpoints (zero when fault-free).
+    checkpoint_seconds_total: float = 0.0
 
     @property
     def num_iterations(self) -> int:
         return len(self.iterations)
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Total wall time spent in checkpoint-restart recovery."""
+        return float(sum(e.recovery_seconds for e in self.recovery_events))
+
+    @property
+    def reexecuted_supersteps(self) -> int:
+        """Supersteps executed more than once due to crashes."""
+        return int(sum(e.reexecuted_supersteps for e in self.recovery_events))
+
+    @property
+    def migration_bytes(self) -> float:
+        """State bytes moved to re-home failed machines' vertices."""
+        return float(sum(e.migration_bytes for e in self.recovery_events))
 
     @property
     def total_network_bytes(self) -> float:
@@ -56,8 +110,14 @@ class AnalyticsRun:
     @property
     def execution_seconds(self) -> float:
         """End-to-end modelled execution time (excludes partitioning, as
-        the paper's latency metric does)."""
-        return float(sum(it.wall_seconds for it in self.iterations))
+        the paper's latency metric does).  Under fault injection this
+        includes checkpointing and crash-recovery time."""
+        total = float(sum(it.wall_seconds for it in self.iterations))
+        if self.recovery_events:
+            total += self.recovery_seconds
+        if self.checkpoint_seconds_total:
+            total += self.checkpoint_seconds_total
+        return total
 
     def compute_seconds_per_machine(self) -> np.ndarray:
         """Total modelled CPU seconds per machine (Fig. 4's distribution)."""

@@ -1,7 +1,7 @@
 """JanusGraph-style distributed graph database simulator."""
 
 from repro.database.access_log import AccessLog, record_workload
-from repro.database.cluster import Cluster, ServiceModel, Worker
+from repro.database.cluster import Cluster, ServiceModel, Worker, WorkerStats
 from repro.database.mutations import (
     MUTATION_KINDS,
     GraphMutationLog,
@@ -17,13 +17,30 @@ from repro.database.queries import (
     shortest_path,
     two_hop,
 )
-from repro.database.router import PhaseRequests, RoutedQuery, route_plan
+from repro.database.router import (
+    FailoverRouter,
+    PhaseRequests,
+    RoutedQuery,
+    route_plan,
+)
 from repro.database.simulation import (
     ClosedLoopSimulation,
     SimulationResult,
     simulate_workload,
 )
 from repro.database.workload import QueryBinding, WorkloadGenerator
+
+# Fault-injection API, re-exported here because the database simulator is
+# its primary consumer (see docs/fault_tolerance.md).
+from repro.faults import (
+    ChaosHarness,
+    ChaosReport,
+    CrashInterval,
+    FaultSchedule,
+    ReplicaMap,
+    RetryPolicy,
+    SlowdownInterval,
+)
 
 __all__ = [
     "QueryPlan",
@@ -36,10 +53,19 @@ __all__ = [
     "WorkloadGenerator",
     "Cluster",
     "Worker",
+    "WorkerStats",
     "ServiceModel",
     "RoutedQuery",
     "PhaseRequests",
     "route_plan",
+    "FailoverRouter",
+    "FaultSchedule",
+    "CrashInterval",
+    "SlowdownInterval",
+    "RetryPolicy",
+    "ReplicaMap",
+    "ChaosHarness",
+    "ChaosReport",
     "ClosedLoopSimulation",
     "SimulationResult",
     "simulate_workload",

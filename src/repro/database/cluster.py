@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -90,6 +92,9 @@ class WorkerStats:
     vertices_read: int = 0
     busy_seconds: float = 0.0
     remote_requests: int = 0
+    #: Requests that never got a response (worker crashed or wire drop) —
+    #: populated only under fault injection (see :mod:`repro.faults`).
+    requests_lost: int = 0
 
 
 class Worker:
@@ -139,7 +144,38 @@ class Cluster:
                     "worker_speeds must have one entry per worker")
         self.workers = [Worker(i, self.model, speed)
                         for i, speed in enumerate(speeds)]
-        self.vertex_owner = vertex_owner
+        self.vertex_owner = self._validated_owner(vertex_owner, num_workers)
+
+    @staticmethod
+    def _validated_owner(vertex_owner, num_workers: int) -> np.ndarray:
+        """Check the ownership map covers every vertex with a real worker.
+
+        Previously any object was accepted here and an invalid map only
+        surfaced later as a raw ``IndexError``/``KeyError`` inside
+        :meth:`owner` — mid-simulation, far from the mistake.  Validate up
+        front instead and say what is wrong.
+        """
+        owner = np.asarray(vertex_owner)
+        if owner.ndim != 1:
+            raise ConfigurationError(
+                "vertex_owner must be a 1-D array mapping each vertex to a "
+                f"worker id, got an array of shape {owner.shape}")
+        if owner.size and not np.issubdtype(owner.dtype, np.integer):
+            raise ConfigurationError(
+                "vertex_owner must contain integer worker ids, got dtype "
+                f"{owner.dtype}")
+        owner = owner.astype(np.int64, copy=False)
+        if owner.size:
+            invalid = (owner < 0) | (owner >= num_workers)
+            if invalid.any():
+                first = int(np.argmax(invalid))
+                raise ConfigurationError(
+                    f"vertex_owner leaves {int(invalid.sum())} of "
+                    f"{owner.size} vertices without a valid worker: ids "
+                    f"must be in [0, {num_workers}); first offender is "
+                    f"vertex {first} -> {int(owner[first])} (negative "
+                    "values usually mean an incomplete partitioning)")
+        return owner
 
     @property
     def num_workers(self) -> int:

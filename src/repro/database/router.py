@@ -61,3 +61,36 @@ def route_plan(plan: QueryPlan, vertex_owner: np.ndarray) -> RoutedQuery:
             (int(w), int(c)) for w, c in zip(workers.tolist(), counts.tolist())
         )))
     return RoutedQuery(plan.kind, coordinator, tuple(phases))
+
+
+class FailoverRouter:
+    """Replica-aware routing layer used under fault injection.
+
+    Wraps the static :func:`route_plan` placement with a
+    :class:`~repro.faults.ReplicaMap`: every partition's data is readable
+    from a fixed fallback chain, so when the primary owner of a request is
+    down the client's retry is sent to the next replica instead of
+    hammering the crashed machine.  With the empty fault schedule every
+    lookup degenerates to the primary owner — routing is unchanged.
+    """
+
+    def __init__(self, replica_map, fault_schedule):
+        self.replica_map = replica_map
+        self.fault_schedule = fault_schedule
+
+    def target(self, primary: int, attempt: int) -> int:
+        """Worker serving retry number *attempt* of a request whose data
+        is primarily owned by *primary* (attempt 0 = the primary)."""
+        return self.replica_map.replica(primary, attempt)
+
+    def coordinator(self, routed: RoutedQuery, time: float) -> int | None:
+        """Alive coordinator for *routed* at *time*.
+
+        The session coordinator is the first worker in the start vertex's
+        replica chain that is currently up; ``None`` means the entire
+        chain is down and the query cannot even begin.
+        """
+        if not self.fault_schedule.is_crashed(routed.coordinator, time):
+            return routed.coordinator
+        return self.replica_map.alive_replica(
+            routed.coordinator, self.fault_schedule, time)

@@ -35,9 +35,16 @@ import numpy as np
 
 from repro.database.cluster import Cluster, ServiceModel
 from repro.database.queries import plan_query
-from repro.database.router import RoutedQuery, route_plan
+from repro.database.router import FailoverRouter, RoutedQuery, route_plan
 from repro.database.workload import QueryBinding
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, QueryTimeoutError, WorkerFailedError
+from repro.faults import (
+    DEFAULT_RETRY_POLICY,
+    NO_FAULTS,
+    FaultSchedule,
+    ReplicaMap,
+    RetryPolicy,
+)
 from repro.graph.digraph import Graph
 from repro.metrics.runtime import LatencySummary, latency_summary
 
@@ -63,6 +70,25 @@ class SimulationResult:
     network_bytes: float
     remote_reads: int
     total_reads: int
+    #: Fault-injection counters (all zero when no faults were scheduled).
+    timeouts: int = 0
+    retries: int = 0
+    failed_queries: int = 0
+    dropped_requests: int = 0
+    requests_lost_per_worker: np.ndarray | None = None
+
+    @property
+    def availability(self) -> float:
+        """Fraction of post-warmup queries that completed (1.0 = no loss).
+
+        The SLA-style metric of the fault-tolerance experiments: a query
+        counts as unavailable when it exhausted its retry budget or its
+        start vertex's entire replica chain was down.
+        """
+        attempted = self.completed_queries + self.failed_queries
+        if attempted == 0:
+            return 1.0
+        return self.completed_queries / attempted
 
     @property
     def throughput(self) -> float:
@@ -93,7 +119,7 @@ class _QueryState:
     """Progress of one in-flight query."""
 
     __slots__ = ("routed", "client", "phase", "outstanding", "started",
-                 "phase_ready")
+                 "phase_ready", "coordinator", "failed")
 
     def __init__(self, routed: RoutedQuery, client: int, started: float):
         self.routed = routed
@@ -102,6 +128,24 @@ class _QueryState:
         self.outstanding = 0
         self.started = started
         self.phase_ready = started
+        #: Effective coordinator — the routed primary unless it was down
+        #: at query start and a replica took over.
+        self.coordinator = routed.coordinator
+        #: Set when any request of this query exhausted its retry budget.
+        self.failed = False
+
+
+class _Request:
+    """One storage request in flight, tracked for timeout/retry."""
+
+    __slots__ = ("state", "primary", "reads", "attempt")
+
+    def __init__(self, state: _QueryState, primary: int, reads: int,
+                 attempt: int):
+        self.state = state
+        self.primary = primary
+        self.reads = reads
+        self.attempt = attempt
 
 
 class ClosedLoopSimulation:
@@ -121,13 +165,32 @@ class ClosedLoopSimulation:
     fanout_limit:
         Optional 2-hop frontier cap (see :func:`repro.database.queries.
         two_hop`).
+    fault_schedule:
+        Optional :class:`~repro.faults.FaultSchedule`.  ``None`` or the
+        empty schedule leaves every result bit-identical to a run without
+        fault injection (the :class:`~repro.faults.ChaosHarness`
+        invariant).
+    retry_policy:
+        Client timeout/retry behaviour under faults (defaults to
+        :data:`~repro.faults.DEFAULT_RETRY_POLICY`).
+    k_safety:
+        Replica-chain length of the failover map (clamped to the cluster
+        size); 1 disables failover.
+    raise_on_failure:
+        When True, the first unavailable query raises
+        :class:`~repro.errors.QueryTimeoutError` /
+        :class:`~repro.errors.WorkerFailedError` instead of being counted.
     """
 
     def __init__(self, graph: Graph, vertex_owner, num_workers: int, *,
                  clients_per_worker: int = 12,
                  service_model: ServiceModel | None = None,
                  fanout_limit: int | None = 64,
-                 worker_speeds=None):
+                 worker_speeds=None,
+                 fault_schedule: FaultSchedule | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 k_safety: int = 2,
+                 raise_on_failure: bool = False):
         owner = np.asarray(vertex_owner, dtype=np.int64)
         if owner.shape != (graph.num_vertices,):
             raise ConfigurationError("vertex_owner must map every vertex")
@@ -141,6 +204,11 @@ class ClosedLoopSimulation:
                                worker_speeds=worker_speeds)
         self.clients_per_worker = clients_per_worker
         self.fanout_limit = fanout_limit
+        self.fault_schedule = fault_schedule or NO_FAULTS
+        self.retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self.replica_map = ReplicaMap(num_workers,
+                                      max(1, min(k_safety, num_workers)))
+        self.raise_on_failure = raise_on_failure
         self._plan_cache: dict[tuple, RoutedQuery] = {}
 
     # ------------------------------------------------------------------
@@ -170,11 +238,21 @@ class ClosedLoopSimulation:
             raise ConfigurationError("duration must be positive")
         self.cluster.reset()
         model = self.cluster.model
+        schedule = self.fault_schedule
+        policy = self.retry_policy
+        #: The fault hooks below are exact no-ops when the schedule is
+        #: empty — guarded by ``faulty`` so a fault-free run performs the
+        #: *same arithmetic in the same order* as before fault injection
+        #: existed (the ChaosHarness invariant).
+        faulty = not schedule.is_empty
+        router = FailoverRouter(self.replica_map, schedule)
         num_clients = self.clients_per_worker * self.cluster.num_workers
         warmup = duration * warmup_fraction
 
         events: list[_Event] = []
         sequence = itertools.count()
+        request_ids = itertools.count()
+        retry_ids = itertools.count()
         binding_cursor = [int(i * len(bindings) / num_clients)
                           for i in range(num_clients)]
 
@@ -183,6 +261,10 @@ class ClosedLoopSimulation:
         network_bytes = 0.0
         remote_reads = 0
         total_reads = 0
+        timeouts = 0
+        retries = 0
+        failed = 0
+        dropped = 0
 
         def push(time: float, kind: str, payload) -> None:
             heapq.heappush(events, _Event(time, next(sequence), kind, payload))
@@ -195,10 +277,23 @@ class ClosedLoopSimulation:
         def start_query(client: int, now: float) -> None:
             routed = self._routed(next_binding(client))
             state = _QueryState(routed, client, now)
+            if faulty:
+                coordinator = router.coordinator(routed, now)
+                if coordinator is None:
+                    # The start vertex's whole replica chain is down: the
+                    # client cannot even open a session; it observes one
+                    # timeout deadline and gives the query up.
+                    if self.raise_on_failure:
+                        raise WorkerFailedError(
+                            f"entire replica chain of worker "
+                            f"{routed.coordinator} is down at t={now:.4f}s")
+                    state.failed = True
+                    push(now + policy.timeout_seconds, "abort", state)
+                    return
+                state.coordinator = coordinator
             issue_phase(state, now)
 
         def issue_phase(state: _QueryState, now: float) -> None:
-            nonlocal network_bytes, remote_reads, total_reads
             routed = state.routed
             if state.phase >= len(routed.phases):
                 finish_query(state, now)
@@ -210,25 +305,54 @@ class ClosedLoopSimulation:
                 return
             state.outstanding = len(requests)
             for worker_id, reads in requests:
-                worker = self.cluster.workers[worker_id]
-                remote = worker_id != routed.coordinator
-                arrival = now + (model.network_rtt_seconds / 2 if remote else 0.0)
-                service = worker.service_seconds(reads)
-                begin = max(arrival, worker.busy_until)
-                completion = begin + service
-                worker.busy_until = completion
-                worker.stats.requests_served += 1
-                worker.stats.vertices_read += reads
-                worker.stats.busy_seconds += service
-                total_reads += reads
-                if remote:
-                    worker.stats.remote_requests += 1
-                    remote_reads += reads
-                    network_bytes += (BYTES_PER_REMOTE_REQUEST
-                                      + reads * BYTES_PER_VERTEX_RECORD)
-                response = completion + (model.network_rtt_seconds / 2
-                                         if remote else 0.0)
-                push(response, "response", state)
+                issue_request(state, worker_id, reads, now, 0)
+
+        def issue_request(state: _QueryState, primary: int, reads: int,
+                          now: float, attempt: int) -> None:
+            nonlocal network_bytes, remote_reads, total_reads, dropped
+            target = router.target(primary, attempt) if faulty else primary
+            worker = self.cluster.workers[target]
+            remote = target != state.coordinator
+            extra = (schedule.extra_latency_seconds
+                     if faulty and remote else 0.0)
+            arrival = now + (model.network_rtt_seconds / 2 + extra
+                             if remote else 0.0)
+            if faulty:
+                request_id = next(request_ids)
+                if schedule.is_crashed(target, arrival):
+                    # The request reaches a dead machine: no response will
+                    # ever come; the client discovers this only through
+                    # its timeout deadline.
+                    worker.stats.requests_lost += 1
+                    push(now + policy.timeout_seconds, "timeout",
+                         _Request(state, primary, reads, attempt))
+                    return
+                if schedule.should_drop(request_id):
+                    dropped += 1
+                    worker.stats.requests_lost += 1
+                    push(now + policy.timeout_seconds, "timeout",
+                         _Request(state, primary, reads, attempt))
+                    return
+            service = worker.service_seconds(reads)
+            if faulty:
+                factor = schedule.speed_factor(target, arrival)
+                if factor != 1.0:
+                    service = service / factor
+            begin = max(arrival, worker.busy_until)
+            completion = begin + service
+            worker.busy_until = completion
+            worker.stats.requests_served += 1
+            worker.stats.vertices_read += reads
+            worker.stats.busy_seconds += service
+            total_reads += reads
+            if remote:
+                worker.stats.remote_requests += 1
+                remote_reads += reads
+                network_bytes += (BYTES_PER_REMOTE_REQUEST
+                                  + reads * BYTES_PER_VERTEX_RECORD)
+            response = completion + (model.network_rtt_seconds / 2 + extra
+                                     if remote else 0.0)
+            push(response, "response", state)
 
         def finish_query(state: _QueryState, now: float) -> None:
             nonlocal completed
@@ -238,23 +362,62 @@ class ClosedLoopSimulation:
             if now < duration:
                 push(now + model.think_seconds, "start", state.client)
 
-        def on_response(state: _QueryState, now: float) -> None:
+        def fail_query(state: _QueryState, now: float) -> None:
+            nonlocal failed
+            if self.raise_on_failure:
+                raise QueryTimeoutError(
+                    f"{state.routed.kind} query of client {state.client} "
+                    f"exhausted its {policy.max_retries}-retry budget at "
+                    f"t={now:.4f}s")
+            if now >= warmup:
+                failed += 1
+            if now < duration:
+                push(now + model.think_seconds, "start", state.client)
+
+        def request_settled(state: _QueryState, now: float) -> None:
             state.outstanding -= 1
-            if state.outstanding == 0:
-                # Merge the phase's responses on the coordinator: this
-                # occupies the coordinating worker's server, so hot
-                # coordinators queue up and wide fan-out costs CPU.
-                coordinator = self.cluster.workers[state.routed.coordinator]
-                responses = len(state.routed.phases[state.phase].requests)
-                merge = (model.coordinator_overhead_seconds
-                         + responses * model.per_response_seconds) \
-                    / coordinator.speed
-                begin = max(now, coordinator.busy_until)
-                done = begin + merge
-                coordinator.busy_until = done
-                coordinator.stats.busy_seconds += merge
-                state.phase += 1
-                push(done, "phase_done", state)
+            if state.outstanding != 0:
+                return
+            if state.failed:
+                fail_query(state, now)
+                return
+            # Merge the phase's responses on the coordinator: this
+            # occupies the coordinating worker's server, so hot
+            # coordinators queue up and wide fan-out costs CPU.
+            coordinator = self.cluster.workers[state.coordinator]
+            responses = len(state.routed.phases[state.phase].requests)
+            merge = (model.coordinator_overhead_seconds
+                     + responses * model.per_response_seconds) \
+                / coordinator.speed
+            begin = max(now, coordinator.busy_until)
+            done = begin + merge
+            coordinator.busy_until = done
+            coordinator.stats.busy_seconds += merge
+            state.phase += 1
+            push(done, "phase_done", state)
+
+        def on_timeout(request: _Request, now: float) -> None:
+            nonlocal timeouts, retries
+            timeouts += 1
+            if request.state.failed:
+                # The query already failed on another request: don't burn
+                # retries on it, just settle this one.
+                request_settled(request.state, now)
+                return
+            if request.attempt < policy.max_retries:
+                retries += 1
+                delay = policy.backoff_seconds(
+                    request.attempt, schedule.jitter(next(retry_ids)))
+                request.attempt += 1
+                push(now + delay, "retry", request)
+                return
+            request.state.failed = True
+            request_settled(request.state, now)
+
+        def on_retry(request: _Request, now: float) -> None:
+            # Failover: attempt n goes to replica n of the primary owner.
+            issue_request(request.state, request.primary, request.reads,
+                          now, request.attempt)
 
         def on_phase_done(state: _QueryState, now: float) -> None:
             issue_phase(state, now)
@@ -272,8 +435,14 @@ class ClosedLoopSimulation:
                 start_query(event.payload, event.time)
             elif event.kind == "phase_done":
                 on_phase_done(event.payload, event.time)
-            else:
-                on_response(event.payload, event.time)
+            elif event.kind == "response":
+                request_settled(event.payload, event.time)
+            elif event.kind == "timeout":
+                on_timeout(event.payload, event.time)
+            elif event.kind == "retry":
+                on_retry(event.payload, event.time)
+            else:  # "abort": the whole replica chain was down at start.
+                fail_query(event.payload, event.time)
 
         workers = self.cluster.workers
         return SimulationResult(
@@ -292,6 +461,12 @@ class ClosedLoopSimulation:
             network_bytes=network_bytes,
             remote_reads=remote_reads,
             total_reads=total_reads,
+            timeouts=timeouts,
+            retries=retries,
+            failed_queries=failed,
+            dropped_requests=dropped,
+            requests_lost_per_worker=np.array(
+                [w.stats.requests_lost for w in workers], dtype=np.int64),
         )
 
 
@@ -299,7 +474,11 @@ def simulate_workload(graph: Graph, partition, bindings, *,
                       clients_per_worker: int = 12, duration: float = 2.0,
                       service_model: ServiceModel | None = None,
                       fanout_limit: int | None = 64,
-                      worker_speeds=None) -> SimulationResult:
+                      worker_speeds=None,
+                      fault_schedule: FaultSchedule | None = None,
+                      retry_policy: RetryPolicy | None = None,
+                      k_safety: int = 2,
+                      raise_on_failure: bool = False) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ClosedLoopSimulation`."""
     assignment = getattr(partition, "assignment", partition)
     num_workers = getattr(partition, "num_partitions",
@@ -310,5 +489,9 @@ def simulate_workload(graph: Graph, partition, bindings, *,
         service_model=service_model,
         fanout_limit=fanout_limit,
         worker_speeds=worker_speeds,
+        fault_schedule=fault_schedule,
+        retry_policy=retry_policy,
+        k_safety=k_safety,
+        raise_on_failure=raise_on_failure,
     )
     return sim.run(bindings, duration=duration)

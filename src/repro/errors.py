@@ -29,3 +29,20 @@ class PartitioningError(ReproError):
 
 class SimulationError(ReproError):
     """The analytics engine or database simulator reached an invalid state."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault schedule is invalid, or a chaos invariant was violated
+    (e.g. the zero-fault schedule failed to reproduce the baseline)."""
+
+
+class WorkerFailedError(SimulationError):
+    """An operation targeted a crashed worker and no replica could take
+    over (the entire k-safety replica chain is down)."""
+
+
+class QueryTimeoutError(SimulationError):
+    """A query exhausted its retry budget without completing (raised only
+    when the simulation runs with ``raise_on_failure=True``; otherwise
+    failed queries are counted, as a real client-side SLA monitor would).
+    """

@@ -2,6 +2,7 @@
 
 from repro.experiments.ablations import (
     ablation_dynamic_updates,
+    ablation_fault_tolerance,
     ablation_fennel_gamma,
     ablation_partitioning_cost,
     ablation_straggler,
@@ -62,6 +63,7 @@ EXPERIMENTS = {
     "ablation-ginger-threshold": ablation_ginger_threshold,
     "ablation-restreaming": ablation_restreaming,
     "ablation-dynamic-updates": ablation_dynamic_updates,
+    "ablation-fault-tolerance": ablation_fault_tolerance,
     "ablation-straggler": ablation_straggler,
     "ablation-partitioning-cost": ablation_partitioning_cost,
     "ablation-sender-side-aggregation": ablation_sender_side_aggregation,
@@ -84,7 +86,8 @@ __all__ = [
     "figure15",
     "ablation_stream_order", "ablation_fennel_gamma", "ablation_hdrf_lambda",
     "ablation_ginger_threshold", "ablation_restreaming",
-    "ablation_dynamic_updates", "ablation_straggler",
+    "ablation_dynamic_updates", "ablation_fault_tolerance",
+    "ablation_straggler",
     "ablation_partitioning_cost",
     "ablation_sender_side_aggregation",
 ]

@@ -12,7 +12,11 @@ from repro.partitioning.conversion import (
     expected_replication_factor,
 )
 from repro.partitioning.decision import Recommendation, recommend, recommend_for_graph
-from repro.partitioning.dynamic import IncrementalEdgeCutPartitioner, hermes_refine
+from repro.partitioning.dynamic import (
+    IncrementalEdgeCutPartitioner,
+    hermes_refine,
+    reassign_lost_vertices,
+)
 from repro.partitioning.edge_cut.fennel import FennelPartitioner
 from repro.partitioning.edge_cut.hashing import HashVertexPartitioner
 from repro.partitioning.edge_cut.iogp import IogpPartitioner
@@ -97,6 +101,7 @@ __all__ = [
     "HeterogeneousFennelPartitioner",
     "IncrementalEdgeCutPartitioner",
     "hermes_refine",
+    "reassign_lost_vertices",
     "IogpPartitioner",
     "LeopardPartitioner",
     "taper_refine",

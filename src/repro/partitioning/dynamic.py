@@ -148,6 +148,64 @@ def hermes_refine(
                            algorithm=f"{partition.algorithm}+hermes")
 
 
+def reassign_lost_vertices(
+    graph: Graph,
+    partition: VertexPartition,
+    lost_part: int,
+    *,
+    balance_slack: float = 1.2,
+    seed=None,
+) -> VertexPartition:
+    """Re-home every vertex of a failed partition onto the survivors.
+
+    The fault-tolerance recovery path (see :mod:`repro.faults`): when a
+    worker dies permanently, the vertices it mastered must be re-placed on
+    the remaining ``k - 1`` partitions.  Each lost vertex is streamed (in
+    id order — the order replicas re-read the failed worker's key range)
+    and placed with the LDG objective restricted to surviving partitions,
+    so the recovered placement's quality — and hence the migration traffic
+    and post-recovery cut — depends on the partitioning under test.
+
+    Returns a new :class:`VertexPartition` with the same ``k`` in which no
+    vertex is assigned to *lost_part*.
+    """
+    if not 0 <= lost_part < partition.num_partitions:
+        raise ConfigurationError(
+            f"lost_part must be in [0, {partition.num_partitions}), "
+            f"got {lost_part}")
+    if partition.num_partitions < 2:
+        raise PartitioningError(
+            "cannot recover a 1-partition placement: there is no survivor")
+    if partition.num_vertices != graph.num_vertices:
+        raise PartitioningError("partition does not cover the graph")
+    if not partition.is_complete():
+        raise PartitioningError("cannot recover an incomplete partitioning")
+    rng = make_rng(seed)
+    k = partition.num_partitions
+    assignment = partition.assignment.copy()
+    lost = np.flatnonzero(assignment == lost_part)
+    algorithm = f"{partition.algorithm}+failover"
+    if lost.size == 0:
+        return VertexPartition(k, assignment, algorithm=algorithm)
+    assignment[lost] = UNASSIGNED
+    survivors = assignment[assignment != UNASSIGNED]
+    sizes = np.bincount(survivors, minlength=k).astype(np.int64)
+    capacity = max(1.0, math.ceil(
+        balance_slack * graph.num_vertices / (k - 1)))
+    # Exclude the dead partition from both score and tie-break.
+    dead_penalty = np.zeros(k)
+    dead_penalty[lost_part] = -np.inf
+    for u in lost.tolist():
+        neighbor_parts = assignment[graph.neighbors(u)]
+        neighbor_parts = neighbor_parts[neighbor_parts != UNASSIGNED]
+        counts = np.bincount(neighbor_parts, minlength=k).astype(np.float64)
+        scores = counts * (1.0 - sizes / capacity) + dead_penalty
+        target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+        assignment[u] = target
+        sizes[target] += 1
+    return VertexPartition(k, assignment, algorithm=algorithm)
+
+
 def _boundary_vertices(graph: Graph, assignment: np.ndarray) -> np.ndarray:
     """Vertices with at least one neighbour in another partition."""
     cross = assignment[graph.src] != assignment[graph.dst]

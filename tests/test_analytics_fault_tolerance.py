@@ -1,0 +1,188 @@
+"""Tests for checkpoint-restart fault tolerance in the GAS engine."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import PageRank, run_workload
+from repro.errors import (
+    ConfigurationError,
+    FaultInjectionError,
+    PartitioningError,
+)
+from repro.faults import ChaosHarness, FaultSchedule
+from repro.graph.generators import ldbc_like
+from repro.partitioning import VertexPartition, make_partitioner
+from repro.partitioning.dynamic import reassign_lost_vertices
+
+
+@pytest.fixture(scope="module")
+def engine_setup():
+    graph = ldbc_like(num_vertices=800, avg_degree=10, seed=31)
+    partition = make_partitioner("ecr").partition(graph, 4)
+    return graph, partition
+
+
+@pytest.fixture(scope="module")
+def healthy_run(engine_setup):
+    graph, partition = engine_setup
+    return run_workload(graph, partition, PageRank(num_iterations=6))
+
+
+def _crash_schedule(healthy, worker=1, at_fraction=0.5):
+    return FaultSchedule.single_crash(
+        worker, at_fraction * healthy.execution_seconds,
+        0.1 * healthy.execution_seconds, seed=5)
+
+
+class TestZeroFaultInvariant:
+    def test_empty_schedule_is_bit_identical(self, engine_setup, healthy_run):
+        graph, partition = engine_setup
+        injected = run_workload(graph, partition, PageRank(num_iterations=6),
+                                fault_schedule=FaultSchedule.none())
+        assert injected.execution_seconds == healthy_run.execution_seconds
+        assert injected.total_network_bytes == healthy_run.total_network_bytes
+        assert injected.total_messages == healthy_run.total_messages
+        assert not injected.recovery_events
+        assert injected.checkpoint_seconds_total == 0.0
+
+    def test_chaos_harness_passes_end_to_end(self, engine_setup):
+        graph, partition = engine_setup
+        report = ChaosHarness().verify_analytics(
+            graph, partition, PageRank(num_iterations=4))
+        assert report.matched
+
+
+class TestCheckpointRestart:
+    def test_crash_forces_recovery(self, engine_setup, healthy_run):
+        graph, partition = engine_setup
+        faulted = run_workload(graph, partition, PageRank(num_iterations=6),
+                               fault_schedule=_crash_schedule(healthy_run),
+                               checkpoint_interval=2)
+        assert len(faulted.recovery_events) == 1
+        event = faulted.recovery_events[0]
+        assert event.worker == 1
+        assert event.lost_vertices > 0
+        assert event.migration_bytes > 0
+        assert event.reexecuted_supersteps >= 1
+        assert faulted.execution_seconds > healthy_run.execution_seconds
+        assert faulted.checkpoint_seconds_total > 0.0
+
+    def test_numerical_result_unaffected_by_recovery(self, engine_setup,
+                                                     healthy_run):
+        """Checkpoint-restart replays supersteps: the converged values (and
+        hence the logical message/byte counts) must match the healthy run."""
+        graph, partition = engine_setup
+        faulted = run_workload(graph, partition, PageRank(num_iterations=6),
+                               fault_schedule=_crash_schedule(healthy_run),
+                               checkpoint_interval=2)
+        assert faulted.num_iterations == healthy_run.num_iterations
+        assert faulted.total_network_bytes == healthy_run.total_network_bytes
+
+    def test_tighter_checkpoints_bound_reexecution(self, engine_setup,
+                                                   healthy_run):
+        graph, partition = engine_setup
+        schedule = _crash_schedule(healthy_run)
+        tight = run_workload(graph, partition, PageRank(num_iterations=6),
+                             fault_schedule=schedule, checkpoint_interval=1)
+        loose = run_workload(graph, partition, PageRank(num_iterations=6),
+                             fault_schedule=schedule, checkpoint_interval=6)
+        assert tight.reexecuted_supersteps <= loose.reexecuted_supersteps
+        assert tight.reexecuted_supersteps == 1
+        assert tight.checkpoint_seconds_total > loose.checkpoint_seconds_total
+
+    def test_invalid_checkpoint_interval_rejected(self, engine_setup):
+        graph, partition = engine_setup
+        with pytest.raises(FaultInjectionError):
+            run_workload(graph, partition, PageRank(num_iterations=2),
+                         fault_schedule=FaultSchedule.single_crash(0, 1e9),
+                         checkpoint_interval=0)
+
+    def test_faulty_run_is_deterministic(self, engine_setup, healthy_run):
+        graph, partition = engine_setup
+        schedule = _crash_schedule(healthy_run)
+        first = run_workload(graph, partition, PageRank(num_iterations=6),
+                             fault_schedule=schedule, checkpoint_interval=2)
+        second = run_workload(graph, partition, PageRank(num_iterations=6),
+                              fault_schedule=schedule, checkpoint_interval=2)
+        assert first.execution_seconds == second.execution_seconds
+        assert first.migration_bytes == second.migration_bytes
+        assert first.recovery_seconds == second.recovery_seconds
+
+    def test_recovery_cost_depends_on_partitioner(self, engine_setup,
+                                                  healthy_run):
+        """The tentpole claim: re-homing a dead worker's vertices costs
+        different amounts under different partitioners."""
+        graph, _ = engine_setup
+        costs = {}
+        for algorithm in ("ecr", "ldg", "fennel"):
+            partition = make_partitioner(algorithm).partition(graph, 4)
+            healthy = run_workload(graph, partition,
+                                   PageRank(num_iterations=6))
+            faulted = run_workload(graph, partition,
+                                   PageRank(num_iterations=6),
+                                   fault_schedule=_crash_schedule(healthy),
+                                   checkpoint_interval=2)
+            costs[algorithm] = (faulted.recovery_events[0].lost_vertices,
+                                faulted.migration_bytes)
+        assert len(set(costs.values())) > 1
+
+
+class TestReassignLostVertices:
+    def test_recovered_partition_avoids_lost_part(self, engine_setup):
+        graph, partition = engine_setup
+        recovered = reassign_lost_vertices(graph, partition, 1)
+        assert recovered.is_complete()
+        assert recovered.num_partitions == partition.num_partitions
+        assert not np.any(recovered.assignment == 1)
+        assert recovered.algorithm.endswith("+failover")
+
+    def test_survivors_untouched(self, engine_setup):
+        graph, partition = engine_setup
+        recovered = reassign_lost_vertices(graph, partition, 1)
+        survivors = partition.assignment != 1
+        assert np.array_equal(recovered.assignment[survivors],
+                              partition.assignment[survivors])
+
+    def test_balance_respected(self, engine_setup):
+        graph, partition = engine_setup
+        recovered = reassign_lost_vertices(graph, partition, 1,
+                                           balance_slack=1.2)
+        capacity = 1.2 * graph.num_vertices / (partition.num_partitions - 1)
+        assert recovered.sizes().max() <= np.ceil(capacity)
+
+    def test_empty_lost_part_is_noop(self, engine_setup):
+        graph, partition = engine_setup
+        k = partition.num_partitions + 1
+        widened = VertexPartition(k, partition.assignment,
+                                  algorithm=partition.algorithm)
+        recovered = reassign_lost_vertices(graph, widened, k - 1)
+        assert np.array_equal(recovered.assignment, widened.assignment)
+
+    def test_invalid_lost_part_rejected(self, engine_setup):
+        graph, partition = engine_setup
+        with pytest.raises(ConfigurationError):
+            reassign_lost_vertices(graph, partition, -1)
+        with pytest.raises(ConfigurationError):
+            reassign_lost_vertices(graph, partition, 99)
+
+    def test_single_partition_rejected(self, engine_setup):
+        graph, _ = engine_setup
+        solo = VertexPartition(1, np.zeros(graph.num_vertices,
+                                           dtype=np.int32), algorithm="x")
+        with pytest.raises(PartitioningError):
+            reassign_lost_vertices(graph, solo, 0)
+
+    def test_incomplete_partition_rejected(self, engine_setup):
+        graph, partition = engine_setup
+        broken = partition.assignment.copy()
+        broken[0] = -1
+        incomplete = VertexPartition(partition.num_partitions, broken,
+                                     algorithm="x")
+        with pytest.raises(PartitioningError):
+            reassign_lost_vertices(graph, incomplete, 1)
+
+    def test_deterministic_given_seed(self, engine_setup):
+        graph, partition = engine_setup
+        a = reassign_lost_vertices(graph, partition, 1, seed=7)
+        b = reassign_lost_vertices(graph, partition, 1, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
