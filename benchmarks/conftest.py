@@ -5,20 +5,32 @@ Every ``bench_<id>.py`` regenerates one of the paper's tables or figures
 regeneration with pytest-benchmark, prints the rendered report and saves
 it under ``benchmarks/output/<id>.txt`` so the series the paper reports
 are inspectable after a run.
+
+Each session additionally writes ``benchmarks/output/BENCH_telemetry.json``
+— one record per benchmarked experiment with its real wall time and the
+key counters its run produced (telemetry spans/calls plus every counter
+the experiment exposes in ``report.data``'s scalar entries).  The format
+is documented in ``docs/telemetry.md``.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+TELEMETRY_JSON = OUTPUT_DIR / "BENCH_telemetry.json"
 
 # Benchmarks default to the quick profile; a full EXPERIMENTS.md run
 # exports REPRO_SCALE=default instead.
 os.environ.setdefault("REPRO_SCALE", "quick")
+
+#: Per-session records destined for BENCH_telemetry.json.
+_TELEMETRY_RECORDS: list[dict] = []
 
 
 @pytest.fixture()
@@ -27,11 +39,17 @@ def report_sink(capsys):
     OUTPUT_DIR.mkdir(exist_ok=True)
 
     def _sink(report):
-        text = report.render()
-        (OUTPUT_DIR / f"{report.experiment_id}.txt").write_text(text + "\n")
+        # The saved artifact must stay deterministic: strip the
+        # provenance trailer (real wall time) for the on-disk copy and
+        # show it only on the console.
+        provenance, report.provenance = report.provenance, {}
+        file_text = report.render()
+        report.provenance = provenance
+        (OUTPUT_DIR / f"{report.experiment_id}.txt").write_text(
+            file_text + "\n")
         with capsys.disabled():
             print()
-            print(text)
+            print(report.render())
         return report
 
     return _sink
@@ -40,10 +58,54 @@ def report_sink(capsys):
 def run_experiment(benchmark, entry_point, report_sink, **kwargs):
     """Time one full experiment regeneration (single round — experiments
     are deterministic, so repeated rounds only re-measure caching)."""
+    from repro import telemetry
     from repro.experiments import ExperimentContext
+
+    tracer = telemetry.get_tracer()
 
     def _run():
         return entry_point(ExperimentContext(), **kwargs)
 
+    started = time.time()
+    calls_before = tracer.calls
+    spans_before = tracer.num_spans
     report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    wall_seconds = time.time() - started
+
+    record = {
+        "experiment_id": report.experiment_id,
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+        "wall_seconds": round(wall_seconds, 3),
+        "telemetry_spans": tracer.num_spans - spans_before,
+        "telemetry_calls": tracer.calls - calls_before,
+        "counters": _scalar_counters(report.data),
+    }
+    _TELEMETRY_RECORDS.append(record)
+    report.stamp_provenance(wall_seconds=record["wall_seconds"],
+                            telemetry_spans=record["telemetry_spans"],
+                            telemetry_calls=record["telemetry_calls"])
     return report_sink(report)
+
+
+def _scalar_counters(data: dict) -> dict:
+    """The experiment's headline numbers: scalar entries of report.data."""
+    counters = {}
+    for key, value in data.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        counters[str(key)] = round(float(value), 6)
+    return counters
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TELEMETRY_RECORDS:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+        "benchmarks": sorted(_TELEMETRY_RECORDS,
+                             key=lambda r: r["experiment_id"]),
+    }
+    TELEMETRY_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                              + "\n")

@@ -17,6 +17,9 @@ The package provides, from scratch:
 * :mod:`repro.faults` — deterministic fault injection for both
   substrates: crash/recover schedules, retries with failover, chaos
   regression harness (see ``docs/fault_tolerance.md``);
+* :mod:`repro.telemetry` — deterministic span tracing, a metrics
+  registry, and profiling reports over both substrates (see
+  ``docs/telemetry.md`` and the ``repro-trace`` CLI);
 * :mod:`repro.experiments` — one entry point per paper table/figure,
   also available as ``python -m repro <experiment-id>``.
 

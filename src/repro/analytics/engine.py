@@ -41,6 +41,9 @@ from repro.faults import NO_FAULTS, FaultSchedule
 from repro.graph.digraph import Graph
 from repro.partitioning.base import VertexPartition
 from repro.partitioning.dynamic import reassign_lost_vertices
+from repro.telemetry import get_tracer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import SimClock, Tracer
 
 
 class GasEngine:
@@ -51,10 +54,16 @@ class GasEngine:
     cost_model:
         Converts counts into seconds/bytes; defaults shared by the whole
         experiment harness so runs are comparable.
+    tracer:
+        Span tracer for the run (``gas.*`` spans on the simulated clock);
+        ``None`` resolves the global :func:`repro.telemetry.get_tracer`
+        at run time, which is disabled by default.
     """
 
-    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL,
+                 tracer: Tracer | None = None):
         self.cost_model = cost_model
+        self.tracer = tracer
 
     def run(self, graph: Graph, placement: Placement,
             workload: Workload, *,
@@ -96,11 +105,26 @@ class GasEngine:
             replication_factor=placement.replication_factor(),
             checkpoint_interval=checkpoint_interval if faulty else None,
         )
-        #: Simulated wall clock (fault path only): where superstep windows
-        #: sit in time decides which crash onsets strike which superstep.
-        clock = 0.0
+        metrics = run.metrics
+        m_steps = metrics.counter("gas.supersteps")
+        m_gather = metrics.counter("gas.gather_messages")
+        m_mirror = metrics.counter("gas.mirror_update_messages")
+        m_bytes = metrics.counter("gas.network_bytes")
+        m_recoveries = metrics.counter("gas.recoveries")
+        m_reexec = metrics.counter("gas.reexecuted_supersteps")
+        m_ckpts = metrics.counter("gas.checkpoints")
+        m_ckpt_secs = metrics.counter("gas.checkpoint_seconds_total")
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        tracing = tracer.enabled
+        #: Simulated wall clock: superstep windows decide which crash
+        #: onsets strike which superstep, and give spans their timestamps.
+        clock = SimClock()
         covered_until = 0.0
         last_checkpoint_step = 0
+        root = tracer.begin("gas.run", 0.0, parent=None,
+                            workload=workload.name,
+                            algorithm=placement.algorithm,
+                            num_partitions=k) if tracing else 0
 
         for step, activity in enumerate(workload.iterations(graph)):
             gather_msgs = 0
@@ -176,27 +200,71 @@ class GasEngine:
                 compute_seconds=compute,
                 wall_seconds=wall,
             ))
+            m_steps.inc()
+            m_gather.inc(gather_msgs)
+            m_mirror.inc(update_msgs)
+            m_bytes.inc(network_bytes)
+
+            step_start = clock.now
+            if tracing:
+                sid = tracer.begin("gas.superstep", step_start, parent=root,
+                                   iteration=step,
+                                   gather_messages=gather_msgs,
+                                   mirror_update_messages=update_msgs,
+                                   network_bytes=network_bytes)
+                compute_end = step_start
+                for machine in range(k):
+                    cid = tracer.begin("gas.compute", step_start, parent=sid,
+                                       machine=machine)
+                    tracer.end(cid, step_start + float(compute[machine]))
+                    compute_end = max(compute_end,
+                                      step_start + float(compute[machine]))
+                syncid = tracer.begin("gas.sync", compute_end, parent=sid,
+                                      network_bytes=network_bytes)
+                tracer.end(syncid, step_start + wall)
+                tracer.end(sid, step_start + wall)
+            clock.advance(wall)
 
             if faulty:
-                clock += wall
                 # Each window starts where the previous one ended (before
                 # any recovery/checkpoint time was appended), so those
                 # periods are covered by the next window and no crash
                 # onset can fall between windows unnoticed.
-                window_end = clock
+                window_end = clock.now
                 for crash in schedule.crash_starts_in(covered_until,
                                                       window_end):
                     if crash.worker >= k:
                         continue
                     event = self._recover(graph, placement, run, schedule,
                                           crash, step, last_checkpoint_step)
-                    clock += event.recovery_seconds
+                    m_recoveries.inc()
+                    m_reexec.inc(event.reexecuted_supersteps)
+                    if tracing:
+                        rid = tracer.begin(
+                            "gas.recovery", clock.now, parent=root,
+                            step=step, worker=crash.worker,
+                            lost_vertices=event.lost_vertices,
+                            lost_edges=event.lost_edges,
+                            reexecuted_supersteps=event.reexecuted_supersteps,
+                            migration_bytes=event.migration_bytes)
+                        tracer.end(rid, clock.now + event.recovery_seconds)
+                    clock.advance(event.recovery_seconds)
                 covered_until = window_end
                 if (step + 1) % checkpoint_interval == 0:
-                    clock += self.cost_model.checkpoint_seconds
-                    run.checkpoint_seconds_total += \
-                        self.cost_model.checkpoint_seconds
+                    if tracing:
+                        kid = tracer.begin("gas.checkpoint", clock.now,
+                                           parent=root, step=step)
+                        tracer.end(kid, clock.now
+                                   + self.cost_model.checkpoint_seconds)
+                    clock.advance(self.cost_model.checkpoint_seconds)
+                    m_ckpts.inc()
+                    m_ckpt_secs.inc(self.cost_model.checkpoint_seconds)
                     last_checkpoint_step = step + 1
+        metrics.histogram("gas.machine.compute_seconds").observe_many(
+            run.compute_seconds_per_machine())
+        if tracing:
+            tracer.end(root, clock.now, supersteps=run.num_iterations,
+                       recoveries=len(run.recovery_events))
         return run
 
     # ------------------------------------------------------------------

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.metrics.runtime import DistributionSummary, summarize
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -77,8 +78,20 @@ class AnalyticsRun:
     #: Checkpoint interval used by the fault-tolerant path (None = the
     #: fault-free engine, which writes no checkpoints).
     checkpoint_interval: int | None = None
-    #: Total time spent writing checkpoints (zero when fault-free).
-    checkpoint_seconds_total: float = 0.0
+    #: Named counters/histograms recorded by the engine during this run
+    #: (``gas.*`` namespace — see docs/telemetry.md).  The engine always
+    #: attaches one; the default exists so hand-built runs stay valid.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def checkpoint_seconds_total(self) -> float:
+        """Total time spent writing checkpoints (zero when fault-free).
+
+        Backed by the ``gas.checkpoint_seconds_total`` counter — the
+        ad-hoc field this class used to carry lives in the metrics
+        registry now, under the same public spelling.
+        """
+        return float(self.metrics.value("gas.checkpoint_seconds_total"))
 
     @property
     def num_iterations(self) -> int:

@@ -47,6 +47,8 @@ from repro.faults import (
 )
 from repro.graph.digraph import Graph
 from repro.metrics.runtime import LatencySummary, latency_summary
+from repro.telemetry import get_tracer
+from repro.telemetry.metrics import MetricsRegistry
 
 #: Wire size of one vertex record (id + properties + framing).
 BYTES_PER_VERTEX_RECORD = 128.0
@@ -56,26 +58,66 @@ BYTES_PER_REMOTE_REQUEST = 256.0
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of one simulated run."""
+    """Aggregate outcome of one simulated run.
+
+    The run's scalar counters live in the ``db.*`` namespace of
+    :attr:`metrics` (a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    snapshot of the event loop); the historical attribute spellings —
+    ``completed_queries``, ``timeouts``, ``network_bytes``, … — are
+    properties over that registry, so existing callers and the
+    ChaosHarness field comparisons are unaffected.
+    """
 
     num_workers: int
     clients_per_worker: int
     duration: float
     warmup: float
-    completed_queries: int
     latencies: np.ndarray
     vertices_read_per_worker: np.ndarray
     requests_per_worker: np.ndarray
     busy_seconds_per_worker: np.ndarray
-    network_bytes: float
-    remote_reads: int
-    total_reads: int
-    #: Fault-injection counters (all zero when no faults were scheduled).
-    timeouts: int = 0
-    retries: int = 0
-    failed_queries: int = 0
-    dropped_requests: int = 0
+    metrics: MetricsRegistry
     requests_lost_per_worker: np.ndarray | None = None
+
+    @property
+    def completed_queries(self) -> int:
+        """Queries finished after warmup (counter ``db.queries.completed``)."""
+        return int(self.metrics.value("db.queries.completed"))
+
+    @property
+    def network_bytes(self) -> float:
+        """Bytes moved by remote requests (counter ``db.network_bytes``)."""
+        return float(self.metrics.value("db.network_bytes"))
+
+    @property
+    def remote_reads(self) -> int:
+        """Vertex reads served off-coordinator (``db.reads.remote``)."""
+        return int(self.metrics.value("db.reads.remote"))
+
+    @property
+    def total_reads(self) -> int:
+        """All vertex reads (counter ``db.reads.total``)."""
+        return int(self.metrics.value("db.reads.total"))
+
+    @property
+    def timeouts(self) -> int:
+        """Requests whose deadline fired (counter ``db.timeouts``)."""
+        return int(self.metrics.value("db.timeouts"))
+
+    @property
+    def retries(self) -> int:
+        """Requests re-issued to a replica (counter ``db.retries``)."""
+        return int(self.metrics.value("db.retries"))
+
+    @property
+    def failed_queries(self) -> int:
+        """Queries lost after warmup (counter ``db.queries.failed``)."""
+        return int(self.metrics.value("db.queries.failed"))
+
+    @property
+    def dropped_requests(self) -> int:
+        """Requests dropped on the wire (counter ``db.requests.dropped``)."""
+        return int(self.metrics.value("db.requests.dropped"))
 
     @property
     def availability(self) -> float:
@@ -119,7 +161,7 @@ class _QueryState:
     """Progress of one in-flight query."""
 
     __slots__ = ("routed", "client", "phase", "outstanding", "started",
-                 "phase_ready", "coordinator", "failed")
+                 "phase_ready", "coordinator", "failed", "span", "hop_span")
 
     def __init__(self, routed: RoutedQuery, client: int, started: float):
         self.routed = routed
@@ -133,6 +175,9 @@ class _QueryState:
         self.coordinator = routed.coordinator
         #: Set when any request of this query exhausted its retry budget.
         self.failed = False
+        #: Open telemetry span ids (0 = tracing disabled).
+        self.span = 0
+        self.hop_span = 0
 
 
 class _Request:
@@ -248,6 +293,8 @@ class ClosedLoopSimulation:
         router = FailoverRouter(self.replica_map, schedule)
         num_clients = self.clients_per_worker * self.cluster.num_workers
         warmup = duration * warmup_fraction
+        tracer = get_tracer()
+        tracing = tracer.enabled
 
         events: list[_Event] = []
         sequence = itertools.count()
@@ -257,14 +304,22 @@ class ClosedLoopSimulation:
                           for i in range(num_clients)]
 
         latencies: list[float] = []
-        completed = 0
-        network_bytes = 0.0
-        remote_reads = 0
-        total_reads = 0
-        timeouts = 0
-        retries = 0
-        failed = 0
-        dropped = 0
+        #: The run's counters: the same increments, in the same order, as
+        #: the plain ints this loop used to carry — just named.
+        metrics = MetricsRegistry()
+        c_completed = metrics.counter("db.queries.completed")
+        c_bytes = metrics.counter("db.network_bytes")
+        c_remote = metrics.counter("db.reads.remote")
+        c_total = metrics.counter("db.reads.total")
+        c_timeouts = metrics.counter("db.timeouts")
+        c_retries = metrics.counter("db.retries")
+        c_failed = metrics.counter("db.queries.failed")
+        c_dropped = metrics.counter("db.requests.dropped")
+        root_span = tracer.begin(
+            "db.run", 0.0, parent=None,
+            num_workers=self.cluster.num_workers,
+            clients_per_worker=self.clients_per_worker,
+            duration=duration) if tracing else 0
 
         def push(time: float, kind: str, payload) -> None:
             heapq.heappush(events, _Event(time, next(sequence), kind, payload))
@@ -277,6 +332,13 @@ class ClosedLoopSimulation:
         def start_query(client: int, now: float) -> None:
             routed = self._routed(next_binding(client))
             state = _QueryState(routed, client, now)
+            if tracing:
+                state.span = tracer.begin(
+                    "db.query", now, parent=root_span, kind=routed.kind,
+                    client=client, coordinator=routed.coordinator)
+                tracer.point("db.route", now, parent=state.span,
+                             coordinator=routed.coordinator,
+                             phases=len(routed.phases))
             if faulty:
                 coordinator = router.coordinator(routed, now)
                 if coordinator is None:
@@ -290,6 +352,11 @@ class ClosedLoopSimulation:
                     state.failed = True
                     push(now + policy.timeout_seconds, "abort", state)
                     return
+                if tracing and coordinator != routed.coordinator:
+                    tracer.point("db.failover", now, parent=state.span,
+                                 kind="coordinator",
+                                 primary=routed.coordinator,
+                                 replica=coordinator)
                 state.coordinator = coordinator
             issue_phase(state, now)
 
@@ -304,12 +371,15 @@ class ClosedLoopSimulation:
                 issue_phase(state, now)
                 return
             state.outstanding = len(requests)
+            if tracing:
+                state.hop_span = tracer.begin(
+                    "db.hop", now, parent=state.span, phase=state.phase,
+                    fanout=len(requests))
             for worker_id, reads in requests:
                 issue_request(state, worker_id, reads, now, 0)
 
         def issue_request(state: _QueryState, primary: int, reads: int,
                           now: float, attempt: int) -> None:
-            nonlocal network_bytes, remote_reads, total_reads, dropped
             target = router.target(primary, attempt) if faulty else primary
             worker = self.cluster.workers[target]
             remote = target != state.coordinator
@@ -317,6 +387,10 @@ class ClosedLoopSimulation:
                      if faulty and remote else 0.0)
             arrival = now + (model.network_rtt_seconds / 2 + extra
                              if remote else 0.0)
+            if tracing and attempt > 0 and target != primary:
+                tracer.point("db.failover", now, parent=state.hop_span,
+                             kind="request", primary=primary,
+                             replica=target, attempt=attempt)
             if faulty:
                 request_id = next(request_ids)
                 if schedule.is_crashed(target, arrival):
@@ -324,12 +398,22 @@ class ClosedLoopSimulation:
                     # ever come; the client discovers this only through
                     # its timeout deadline.
                     worker.stats.requests_lost += 1
+                    if tracing:
+                        tracer.point("db.request.lost", now,
+                                     parent=state.hop_span, worker=target,
+                                     reads=reads, attempt=attempt,
+                                     reason="crashed")
                     push(now + policy.timeout_seconds, "timeout",
                          _Request(state, primary, reads, attempt))
                     return
                 if schedule.should_drop(request_id):
-                    dropped += 1
+                    c_dropped.inc()
                     worker.stats.requests_lost += 1
+                    if tracing:
+                        tracer.point("db.request.lost", now,
+                                     parent=state.hop_span, worker=target,
+                                     reads=reads, attempt=attempt,
+                                     reason="dropped")
                     push(now + policy.timeout_seconds, "timeout",
                          _Request(state, primary, reads, attempt))
                     return
@@ -344,33 +428,47 @@ class ClosedLoopSimulation:
             worker.stats.requests_served += 1
             worker.stats.vertices_read += reads
             worker.stats.busy_seconds += service
-            total_reads += reads
+            c_total.inc(reads)
             if remote:
                 worker.stats.remote_requests += 1
-                remote_reads += reads
-                network_bytes += (BYTES_PER_REMOTE_REQUEST
-                                  + reads * BYTES_PER_VERTEX_RECORD)
+                c_remote.inc(reads)
+                c_bytes.inc(BYTES_PER_REMOTE_REQUEST
+                            + reads * BYTES_PER_VERTEX_RECORD)
             response = completion + (model.network_rtt_seconds / 2 + extra
                                      if remote else 0.0)
+            if tracing:
+                # The request's whole life is known analytically here, so
+                # the span is recorded at once: queueing is begin-arrival,
+                # service is completion-begin.
+                rid = tracer.begin("db.request", now, parent=state.hop_span,
+                                   worker=target, reads=reads,
+                                   attempt=attempt, remote=remote,
+                                   queue_seconds=begin - arrival,
+                                   service_seconds=service)
+                tracer.end(rid, response)
             push(response, "response", state)
 
         def finish_query(state: _QueryState, now: float) -> None:
-            nonlocal completed
             if now >= warmup:
                 latencies.append(now - state.started)
-                completed += 1
+                c_completed.inc()
+            if tracing:
+                tracer.end(state.span, now, status="ok",
+                           latency_seconds=now - state.started)
             if now < duration:
                 push(now + model.think_seconds, "start", state.client)
 
         def fail_query(state: _QueryState, now: float) -> None:
-            nonlocal failed
             if self.raise_on_failure:
                 raise QueryTimeoutError(
                     f"{state.routed.kind} query of client {state.client} "
                     f"exhausted its {policy.max_retries}-retry budget at "
                     f"t={now:.4f}s")
             if now >= warmup:
-                failed += 1
+                c_failed.inc()
+            if tracing:
+                tracer.end(state.span, now, status="failed",
+                           latency_seconds=now - state.started)
             if now < duration:
                 push(now + model.think_seconds, "start", state.client)
 
@@ -379,6 +477,8 @@ class ClosedLoopSimulation:
             if state.outstanding != 0:
                 return
             if state.failed:
+                if tracing:
+                    tracer.end(state.hop_span, now, status="failed")
                 fail_query(state, now)
                 return
             # Merge the phase's responses on the coordinator: this
@@ -393,21 +493,34 @@ class ClosedLoopSimulation:
             done = begin + merge
             coordinator.busy_until = done
             coordinator.stats.busy_seconds += merge
+            if tracing:
+                tracer.end(state.hop_span, done, status="ok",
+                           merge_seconds=merge)
             state.phase += 1
             push(done, "phase_done", state)
 
         def on_timeout(request: _Request, now: float) -> None:
-            nonlocal timeouts, retries
-            timeouts += 1
+            c_timeouts.inc()
+            if tracing:
+                tracer.point("db.timeout", now,
+                             parent=request.state.hop_span,
+                             worker=request.primary,
+                             attempt=request.attempt)
             if request.state.failed:
                 # The query already failed on another request: don't burn
                 # retries on it, just settle this one.
                 request_settled(request.state, now)
                 return
             if request.attempt < policy.max_retries:
-                retries += 1
+                c_retries.inc()
                 delay = policy.backoff_seconds(
                     request.attempt, schedule.jitter(next(retry_ids)))
+                if tracing:
+                    tracer.point("db.retry", now,
+                                 parent=request.state.hop_span,
+                                 worker=request.primary,
+                                 attempt=request.attempt,
+                                 delay_seconds=delay)
                 request.attempt += 1
                 push(now + delay, "retry", request)
                 return
@@ -445,12 +558,23 @@ class ClosedLoopSimulation:
                 fail_query(event.payload, event.time)
 
         workers = self.cluster.workers
+        metrics.histogram("db.query.latency_seconds").observe_many(latencies)
+        metrics.histogram("db.worker.vertices_read").observe_many(
+            w.stats.vertices_read for w in workers)
+        metrics.histogram("db.worker.busy_seconds").observe_many(
+            w.stats.busy_seconds for w in workers)
+        if tracing:
+            # Queries still in flight at the horizon close here so their
+            # request/hop spans keep their parents in the export.
+            tracer.end_subtree(root_span, duration, status="inflight")
+            tracer.end(root_span, duration,
+                       completed_queries=int(c_completed.value),
+                       failed_queries=int(c_failed.value))
         return SimulationResult(
             num_workers=self.cluster.num_workers,
             clients_per_worker=self.clients_per_worker,
             duration=duration,
             warmup=warmup,
-            completed_queries=completed,
             latencies=np.asarray(latencies),
             vertices_read_per_worker=np.array(
                 [w.stats.vertices_read for w in workers], dtype=np.int64),
@@ -458,13 +582,7 @@ class ClosedLoopSimulation:
                 [w.stats.requests_served for w in workers], dtype=np.int64),
             busy_seconds_per_worker=np.array(
                 [w.stats.busy_seconds for w in workers]),
-            network_bytes=network_bytes,
-            remote_reads=remote_reads,
-            total_reads=total_reads,
-            timeouts=timeouts,
-            retries=retries,
-            failed_queries=failed,
-            dropped_requests=dropped,
+            metrics=metrics,
             requests_lost_per_worker=np.array(
                 [w.stats.requests_lost for w in workers], dtype=np.int64),
         )

@@ -6,6 +6,12 @@ Usage::
     python -m repro table4
     python -m repro figure2 --scale quick
     python -m repro all --scale default
+    python -m repro figure1 --trace trace.jsonl   # record a telemetry trace
+    python -m repro trace trace.jsonl             # profile a recorded trace
+
+Every report is stamped with provenance — real wall time plus the number
+of telemetry spans and instrumentation calls recorded while it ran — so
+a figure can always be matched to the trace that explains it.
 """
 
 from __future__ import annotations
@@ -19,17 +25,32 @@ from repro.experiments.runner import ExperimentContext
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["trace"]:
+        # Profiling an existing trace is delegated to the repro-trace
+        # tool; `python -m repro trace out.jsonl` is the same command.
+        from repro.tools.trace_cli import main as trace_main
+        return trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument("experiment",
                         help="experiment id (e.g. table4, figure2), "
-                             "'list' or 'all'")
+                             "'list', 'all', or 'trace <file>' to profile "
+                             "a recorded trace")
     parser.add_argument("--scale", choices=("quick", "default", "large"),
                         default=None,
                         help="dataset scale profile (default: $REPRO_SCALE "
                              "or 'default')")
+    parser.add_argument("--trace", default=None, metavar="JSONL",
+                        help="enable telemetry for the run and write the "
+                             "span trace to this file")
+    parser.add_argument("--trace-sample-every", type=int, default=64,
+                        metavar="N",
+                        help="record every Nth partitioner decision span "
+                             "(default 64; only used with --trace)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -44,11 +65,31 @@ def main(argv=None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    ctx = ExperimentContext(scale=args.scale)
+    from repro import telemetry
+
+    if args.trace:
+        with telemetry.recording(
+                decision_sample_every=args.trace_sample_every) as tracer:
+            status = _run_experiments(names, args.scale, tracer)
+        tracer.write_jsonl(args.trace)
+        print(f"[trace: {tracer.num_spans} spans written to {args.trace}]")
+        return status
+    return _run_experiments(names, args.scale, telemetry.get_tracer())
+
+
+def _run_experiments(names, scale, tracer) -> int:
+    ctx = ExperimentContext(scale=scale)
     for name in names:
         started = time.time()
+        spans_before = tracer.num_spans
+        calls_before = tracer.calls
         report = EXPERIMENTS[name](ctx)
         elapsed = time.time() - started
+        report.stamp_provenance(
+            wall_seconds=round(elapsed, 3),
+            telemetry_spans=tracer.num_spans - spans_before,
+            telemetry_calls=tracer.calls - calls_before,
+        )
         print(report.render())
         print(f"\n[{name} completed in {elapsed:.1f}s]\n")
     return 0

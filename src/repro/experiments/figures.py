@@ -285,7 +285,8 @@ def figure7(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
     )
     table = report.add_table(Table(
         "Reads per worker (thousands)",
-        ["Algorithm", "Min", "p25", "Median", "p75", "Max", "Max/Mean"],
+        ["Algorithm", "Min", "p25", "Median", "p75", "p95", "p99", "Max",
+         "Max/Mean"],
     ))
     data = {}
     for algorithm in ONLINE_ALGORITHMS:
@@ -299,7 +300,8 @@ def figure7(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
         data[algorithm] = dist
         table.add_row(algorithm.upper(), round(dist.minimum, 1),
                       round(dist.p25, 1), round(dist.median, 1),
-                      round(dist.p75, 1), round(dist.maximum, 1),
+                      round(dist.p75, 1), round(dist.p95, 1),
+                      round(dist.p99, 1), round(dist.maximum, 1),
                       round(dist.max_over_mean, 2))
     report.data["distributions"] = data
     report.add_note("Expected shape: LDG/FNL spread >> ECR spread — the "
@@ -434,7 +436,8 @@ def figure15(ctx: ExperimentContext | None = None,
         bindings = ctx.bindings(dataset, "one_hop")
         table = report.add_table(Table(
             f"Reads per worker (thousands) — {dataset}",
-            ["Algorithm", "Min", "p25", "Median", "p75", "Max", "Max/Mean"],
+            ["Algorithm", "Min", "p25", "Median", "p75", "p95", "p99",
+             "Max", "Max/Mean"],
         ))
         data[dataset] = {}
         for algorithm in ONLINE_ALGORITHMS:
@@ -448,7 +451,8 @@ def figure15(ctx: ExperimentContext | None = None,
             data[dataset][algorithm] = dist
             table.add_row(algorithm.upper(), round(dist.minimum, 1),
                           round(dist.p25, 1), round(dist.median, 1),
-                          round(dist.p75, 1), round(dist.maximum, 1),
+                          round(dist.p75, 1), round(dist.p95, 1),
+                          round(dist.p99, 1), round(dist.maximum, 1),
                           round(dist.max_over_mean, 2))
     report.data["distributions"] = data
     report.add_note("Expected shape: FNL/LDG suffer load imbalance "

@@ -65,6 +65,11 @@ class ExperimentReport:
     notes: list[str] = field(default_factory=list)
     #: Machine-readable payload for tests and downstream analysis.
     data: dict = field(default_factory=dict)
+    #: Run provenance stamped by the harness (wall time, telemetry event
+    #: counts) — rendered as a trailer line when present.  Wall time is
+    #: real time and so *not* part of any deterministic artifact; it only
+    #: appears in the human-facing render.
+    provenance: dict = field(default_factory=dict)
 
     def add_table(self, table: Table) -> Table:
         self.tables.append(table)
@@ -73,6 +78,10 @@ class ExperimentReport:
     def add_note(self, note: str) -> None:
         self.notes.append(note)
 
+    def stamp_provenance(self, **entries) -> None:
+        """Attach run-provenance entries (wall time, event counts, ...)."""
+        self.provenance.update(entries)
+
     def render(self) -> str:
         parts = [f"=== {self.experiment_id}: {self.title} ==="]
         for table in self.tables:
@@ -80,6 +89,10 @@ class ExperimentReport:
         if self.notes:
             parts.append("Notes:")
             parts.extend(f"  - {note}" for note in self.notes)
+        if self.provenance:
+            stamped = " ".join(f"{key}={value}"
+                               for key, value in self.provenance.items())
+            parts.append(f"[provenance: {stamped}]")
         return "\n\n".join(parts)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

@@ -16,7 +16,12 @@ import numpy as np
 
 @dataclass(frozen=True)
 class DistributionSummary:
-    """Five-number summary plus mean — one 'box line' of Figures 4/7/15."""
+    """Five-number summary plus mean — one 'box line' of Figures 4/7/15.
+
+    ``p95``/``p99`` extend the box with the tail the paper's Table 5
+    reports: for per-worker read distributions they separate "one hot
+    worker" from "a heavy shoulder", which min/max alone cannot.
+    """
 
     minimum: float
     p25: float
@@ -24,6 +29,8 @@ class DistributionSummary:
     p75: float
     maximum: float
     mean: float
+    p95: float = 0.0
+    p99: float = 0.0
 
     @property
     def spread(self) -> float:
@@ -40,14 +47,15 @@ class DistributionSummary:
 
 
 def summarize(values) -> DistributionSummary:
-    """Five-number summary of *values* (empty input → all zeros)."""
+    """Summary of *values* incl. p95/p99 tails (empty input → all zeros)."""
     arr = np.asarray(values, dtype=np.float64)
     if arr.size == 0:
         return DistributionSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
-    q = np.percentile(arr, [0, 25, 50, 75, 100])
+    q = np.percentile(arr, [0, 25, 50, 75, 95, 99, 100])
     return DistributionSummary(
         minimum=float(q[0]), p25=float(q[1]), median=float(q[2]),
-        p75=float(q[3]), maximum=float(q[4]), mean=float(arr.mean()),
+        p75=float(q[3]), maximum=float(q[6]), mean=float(arr.mean()),
+        p95=float(q[4]), p99=float(q[5]),
     )
 
 

@@ -24,6 +24,7 @@ from repro.partitioning.base import (
     check_num_partitions,
 )
 from repro.rng import make_rng
+from repro.telemetry import get_tracer
 
 
 class FennelPartitioner(VertexPartitioner):
@@ -80,6 +81,9 @@ class FennelPartitioner(VertexPartitioner):
         capacity = max(1.0, self.load_cap * num_vertices / k)
         assignment = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
         sizes = np.zeros(k, dtype=np.int64)
+        tracer = get_tracer()
+        trace_every = tracer.decision_sample_every if tracer.enabled else 0
+        decision = 0
 
         for vertex, neighbors in stream:
             placed = assignment[neighbors]
@@ -91,6 +95,19 @@ class FennelPartitioner(VertexPartitioner):
             scores = counts - alpha * self.gamma * sizes ** (self.gamma - 1.0)
             scores[sizes >= capacity] = -np.inf
             target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+            if trace_every:
+                if decision % trace_every == 0:
+                    tracer.point(
+                        "sgp.decision", float(decision),
+                        algorithm=self.name, vertex=int(vertex),
+                        chosen=int(target),
+                        ties=int(np.count_nonzero(scores == scores.max())),
+                        # -inf marks capacity-masked partitions; JSON-ify
+                        # the mask as null so traces stay standard JSON.
+                        scores=[float(s) if np.isfinite(s) else None
+                                for s in scores],
+                        state_size=int(sizes.sum()))
+                decision += 1
             assignment[vertex] = target
             sizes[target] += 1
         return VertexPartition(k, assignment, algorithm=self.name)

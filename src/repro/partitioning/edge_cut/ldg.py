@@ -26,6 +26,7 @@ from repro.partitioning.base import (
     check_num_partitions,
 )
 from repro.rng import make_rng
+from repro.telemetry import get_tracer
 
 
 class LdgPartitioner(VertexPartitioner):
@@ -55,6 +56,11 @@ class LdgPartitioner(VertexPartitioner):
         capacity = max(1.0, math.ceil(self.balance_slack * num_vertices / k))
         assignment = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
         sizes = np.zeros(k, dtype=np.int64)
+        # Decision tracing: one `if 0:` branch per vertex when disabled —
+        # no tracer calls, no allocations (the overhead tests assert it).
+        tracer = get_tracer()
+        trace_every = tracer.decision_sample_every if tracer.enabled else 0
+        decision = 0
 
         for vertex, neighbors in stream:
             placed = assignment[neighbors]
@@ -65,6 +71,16 @@ class LdgPartitioner(VertexPartitioner):
                 counts = np.zeros(k, dtype=np.int64)
             scores = counts * (1.0 - sizes / capacity)
             target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+            if trace_every:
+                if decision % trace_every == 0:
+                    tracer.point(
+                        "sgp.decision", float(decision),
+                        algorithm=self.name, vertex=int(vertex),
+                        chosen=int(target),
+                        ties=int(np.count_nonzero(scores == scores.max())),
+                        scores=[float(s) for s in scores],
+                        state_size=int(sizes.sum()))
+                decision += 1
             assignment[vertex] = target
             sizes[target] += 1
         return VertexPartition(k, assignment, algorithm=self.name)

@@ -27,6 +27,7 @@ from repro.partitioning.base import (
     iter_edge_arrivals,
 )
 from repro.rng import make_rng
+from repro.telemetry import get_tracer
 
 
 class HdrfPartitioner(EdgePartitioner):
@@ -71,6 +72,9 @@ class HdrfPartitioner(EdgePartitioner):
         # an edge, so we maintain it incrementally.
         balance = np.full(k, self.balance_weight, dtype=np.float64)
         balance_step = self.balance_weight / capacity
+        tracer = get_tracer()
+        trace_every = tracer.decision_sample_every if tracer.enabled else 0
+        decision = 0
         for edge_id, src, dst in iter_edge_arrivals(stream):
             partial_degree[src] += 1
             partial_degree[dst] += 1
@@ -81,6 +85,16 @@ class HdrfPartitioner(EdgePartitioner):
             g_v = (1.0 + theta_u) * replicas[dst]       # 1 + (1 - θ(v))
             scores = g_u + g_v + balance
             choice = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+            if trace_every:
+                if decision % trace_every == 0:
+                    tracer.point(
+                        "sgp.decision", float(decision),
+                        algorithm=self.name, edge=int(edge_id),
+                        src=int(src), dst=int(dst), chosen=int(choice),
+                        ties=int(np.count_nonzero(scores == scores.max())),
+                        scores=[float(s) for s in scores],
+                        state_size=int(np.count_nonzero(replicas)))
+                decision += 1
             assignment[edge_id] = choice
             sizes[choice] += 1
             balance[choice] -= balance_step

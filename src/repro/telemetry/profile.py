@@ -1,0 +1,171 @@
+"""Profiling reports over recorded traces: flamegraph and hot spans.
+
+Pure functions from a span list to text, shared by the ``repro-trace``
+CLI and the tests.  Durations are simulated seconds (see
+:mod:`repro.telemetry.tracer`), so the "profile" attributes modelled cost
+— which superstep, machine, query or decision the simulation spent its
+virtual time on — not Python CPU time.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.tracer import Span
+
+#: Glyph used for flamegraph bars (ASCII-safe fallback: "#").
+BAR = "▇"
+
+
+def build_tree(spans: list[Span]) -> tuple[list[Span], dict[int, list[Span]]]:
+    """Return (roots, children-by-parent-id), both in (start, id) order."""
+    children: dict[int, list[Span]] = {}
+    roots: list[Span] = []
+    known = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is None or span.parent_id not in known:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    order = lambda s: (s.start, s.span_id)  # noqa: E731
+    roots.sort(key=order)
+    for siblings in children.values():
+        siblings.sort(key=order)
+    return roots, children
+
+
+def render_flamegraph(spans: list[Span], *, width: int = 100,
+                      max_depth: int | None = None,
+                      min_fraction: float = 0.0) -> str:
+    """Render a trace as an indented text flamegraph.
+
+    Each line is one span: indentation encodes nesting, the bar length is
+    the span's share of its root's duration.  *min_fraction* prunes spans
+    below that share (their pruned-descendant count is reported), and
+    *max_depth* caps nesting.
+    """
+    if not spans:
+        return "(empty trace)"
+    roots, children = build_tree(spans)
+    total = sum(root.duration for root in roots) or 1.0
+    depths = _depths(roots, children)
+    name_width = min(48, max((2 * depths[span.span_id] + len(_label(span))
+                              for span in spans), default=10))
+    bar_width = max(10, width - name_width - 24)
+    lines: list[str] = []
+    # Adjacent pruned siblings collapse into one "..." line; this tracks
+    # the open prune marker as (line_index, depth, count).
+    prune: tuple[int, int, int] | None = None
+
+    # Iterative pre-order walk: recursion would overflow on pathological
+    # hand-made traces, and real db traces nest thousands of queries.
+    stack = [(root, 0) for root in reversed(roots)]
+    while stack:
+        span, depth = stack.pop()
+        fraction = span.duration / total
+        if fraction < min_fraction:
+            pruned = 1 + _count_descendants(span, children)
+            if prune is not None and prune[1] == depth:
+                index, _, count = prune
+                prune = (index, depth, count + pruned)
+            else:
+                prune = (len(lines), depth, pruned)
+                lines.append("")
+            lines[prune[0]] = (f"{'  ' * depth}... ({prune[2]} span(s) "
+                               f"below {min_fraction:.0%} of total)")
+            continue
+        prune = None
+        label = ("  " * depth + _label(span)).ljust(name_width)[:name_width]
+        bar = BAR * max(1, round(fraction * bar_width))
+        lines.append(f"{label} {bar.ljust(bar_width)} "
+                     f"{span.duration:.6f}s {fraction:6.1%}")
+        if max_depth is not None and depth + 1 >= max_depth:
+            continue
+        stack.extend((child, depth + 1)
+                     for child in reversed(children.get(span.span_id, ())))
+    return "\n".join(lines)
+
+
+def hot_spans(spans: list[Span], top: int = 10) -> list[dict]:
+    """Top-*top* span names by self time (total minus child time).
+
+    Returns dicts with ``name``, ``count``, ``total_seconds``,
+    ``self_seconds`` and ``mean_seconds``, sorted by self time (the
+    flamegraph answers *where*; this answers *what kind*).
+    """
+    _, children = build_tree(spans)
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        child_time = sum(c.duration for c in children.get(span.span_id, ()))
+        bucket = totals.setdefault(span.name, [0, 0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += span.duration
+        bucket[2] += max(0.0, span.duration - child_time)
+    rows = [
+        {"name": name, "count": count, "total_seconds": total,
+         "self_seconds": self_time,
+         "mean_seconds": total / count if count else 0.0}
+        for name, (count, total, self_time) in totals.items()
+    ]
+    rows.sort(key=lambda r: (-r["self_seconds"], -r["total_seconds"],
+                             r["name"]))
+    return rows[:top]
+
+
+def render_hot_spans(spans: list[Span], top: int = 10) -> str:
+    """Text table of :func:`hot_spans` (the CLI's ``--top`` report)."""
+    rows = hot_spans(spans, top=top)
+    if not rows:
+        return "(empty trace)"
+    headers = ["name", "count", "self (s)", "total (s)", "mean (s)"]
+    cells = [[r["name"], str(r["count"]), f"{r['self_seconds']:.6f}",
+              f"{r['total_seconds']:.6f}", f"{r['mean_seconds']:.6f}"]
+             for r in rows]
+    widths = [max(len(headers[i]), *(len(row[i]) for row in cells))
+              for i in range(len(headers))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+             "  ".join("-" * w for w in widths)]
+    lines.extend("  ".join(cell.ljust(widths[i])
+                           for i, cell in enumerate(row)) for row in cells)
+    return "\n".join(lines)
+
+
+def trace_summary(spans: list[Span]) -> dict:
+    """Headline numbers for a trace: span count, roots, total duration."""
+    roots, _ = build_tree(spans)
+    return {
+        "spans": len(spans),
+        "roots": len(roots),
+        "names": len({span.name for span in spans}),
+        "total_seconds": sum(root.duration for root in roots),
+    }
+
+
+# ----------------------------------------------------------------------
+def _label(span: Span) -> str:
+    """Short display label: name plus the most identifying attribute."""
+    for key in ("iteration", "machine", "worker", "client", "kind", "step"):
+        if key in span.attrs:
+            return f"{span.name}[{key}={span.attrs[key]}]"
+    return span.name
+
+
+def _depths(roots: list[Span],
+            children: dict[int, list[Span]]) -> dict[int, int]:
+    """Depth of every span reachable from *roots*, in one pass."""
+    depths: dict[int, int] = {}
+    stack = [(root, 0) for root in roots]
+    while stack:
+        span, depth = stack.pop()
+        depths[span.span_id] = depth
+        stack.extend((child, depth + 1)
+                     for child in children.get(span.span_id, ()))
+    return depths
+
+
+def _count_descendants(span: Span, children: dict[int, list[Span]]) -> int:
+    count = 0
+    stack = list(children.get(span.span_id, ()))
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(children.get(node.span_id, ()))
+    return count

@@ -1,0 +1,322 @@
+"""Deterministic span tracer for the simulated substrates.
+
+The engines in this repository *model* time: the GAS engine derives each
+superstep's wall clock from its cost model, and the database simulator is
+a discrete-event loop whose event times are exact.  That makes traces
+regression-testable — a span's timestamps are part of the simulation's
+output, not a measurement — provided no real wall clock ever leaks into
+trace content.  The rules that keep that true:
+
+* every timestamp written to a span comes from the caller (a
+  :class:`SimClock` advanced by modelled durations, an event-loop time,
+  or a stream position) — :class:`Tracer` never reads ``time.time()``;
+* span ids are sequential integers, so identical instrumentation-call
+  sequences produce identical ids;
+* spans are exported in completion order, which is itself deterministic
+  given a seed.
+
+Two runs with the same seed therefore produce **byte-identical** JSONL
+traces (``tests/test_telemetry_determinism.py`` asserts this for both
+substrates, including under fault injection).
+
+Overhead contract: instrumented hot paths guard every tracer call behind
+a plain ``tracer.enabled`` attribute check (hoisted out of loops as a
+local), so a disabled tracer costs one branch and allocates nothing.
+:attr:`Tracer.calls` counts every ``begin``/``end``/``point`` invocation;
+the overhead tests assert it stays at zero on disabled-mode hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+#: Trace schema version written into every exported line.
+SCHEMA_VERSION = 1
+
+#: Sentinel meaning "parent is the tracer's current context-manager span".
+CURRENT = object()
+
+
+class SimClock:
+    """A simulated clock: a mutable ``now`` advanced by modelled durations.
+
+    The substrates own the arithmetic; the clock only carries the value so
+    context-manager spans can read a start and an end time.
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float = 0.0):
+        self.now = float(now)
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward and return the new time."""
+        self.now += seconds
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self.now!r})"
+
+
+class Span:
+    """One traced operation: a named interval with nested children.
+
+    ``start``/``end`` are simulated seconds (or stream positions for
+    partitioner decision spans — the trace schema records which via the
+    span name's prefix).  ``attrs`` carries the span's payload: counts,
+    scores, worker ids — anything JSON-serialisable.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "attrs")
+
+    def __init__(self, span_id: int, parent_id: int | None, name: str,
+                 start: float, end: float | None = None,
+                 attrs: dict | None = None):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (keys sorted at serialisation time)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        return cls(record["id"], record.get("parent"), record["name"],
+                   record["start"], record.get("end"),
+                   record.get("attrs") or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"start={self.start}, end={self.end})")
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays into plain JSON types."""
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", 0) == 0:
+        return item()
+    tolist = getattr(value, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+class Tracer:
+    """Records spans with caller-supplied (simulated) timestamps.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Instrumentation sites hoist this into a local and
+        skip all tracer calls when it is False — see the module docstring
+        for the overhead contract.
+    decision_sample_every:
+        Sampling knob for partitioner decision spans: record every Nth
+        placement decision (1 = every decision).  Substrate spans are
+        never sampled — they are few and each one backs a figure.
+    """
+
+    def __init__(self, *, enabled: bool = False,
+                 decision_sample_every: int = 64):
+        if decision_sample_every < 1:
+            raise ValueError("decision_sample_every must be >= 1")
+        self.enabled = enabled
+        self.decision_sample_every = decision_sample_every
+        self.spans: list[Span] = []
+        #: Instrumentation-call counter (begin/end/point), kept even when
+        #: disabled — the overhead tests assert it stays 0 on hot paths.
+        self.calls = 0
+        self._next_id = 1
+        self._open: dict[int, Span] = {}
+        self._stack: list[int] = []
+        #: span id -> parent id for every span ever begun (ancestry checks
+        #: must work after a parent has already completed).
+        self._parents: dict[int, int | None] = {}
+
+    # ------------------------------------------------------------------
+    # Core recording API (explicit timestamps)
+    # ------------------------------------------------------------------
+    def begin(self, name: str, start: float, *, parent=CURRENT,
+              **attrs) -> int:
+        """Open a span at simulated time *start*; returns its id.
+
+        *parent* defaults to the innermost open context-manager span
+        (:data:`CURRENT`); pass an explicit span id — or ``None`` for a
+        root — when spans overlap, as the database simulator's in-flight
+        queries do.
+        """
+        self.calls += 1
+        if not self.enabled:
+            return 0
+        if parent is CURRENT:
+            parent = self._stack[-1] if self._stack else None
+        span_id = self._next_id
+        self._next_id += 1
+        span = Span(span_id, parent, name, float(start),
+                    attrs={k: _jsonable(v) for k, v in attrs.items()})
+        self._open[span_id] = span
+        self._parents[span_id] = parent
+        return span_id
+
+    def end(self, span_id: int, end: float, **attrs) -> None:
+        """Close span *span_id* at simulated time *end*.
+
+        Closing an unknown/zero id is a no-op so instrumentation can stay
+        unconditional after a disabled-mode ``begin`` returned 0.
+        """
+        self.calls += 1
+        if not self.enabled:
+            return
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span.end = float(end)
+        if attrs:
+            span.attrs.update((k, _jsonable(v)) for k, v in attrs.items())
+        self.spans.append(span)
+
+    def point(self, name: str, at: float, *, parent=CURRENT, **attrs) -> int:
+        """Record an instantaneous event as a zero-duration span."""
+        span_id = self.begin(name, at, parent=parent, **attrs)
+        self.end(span_id, at)
+        return span_id
+
+    def end_subtree(self, root_id: int, end: float, **attrs) -> int:
+        """Close every still-open descendant of *root_id* at time *end*.
+
+        The database simulator uses this at its horizon: queries still in
+        flight would otherwise leave open (unexported) spans whose
+        already-closed children turn into orphan roots.  Descendants are
+        closed deepest-id first so children precede parents in the
+        export, mirroring natural completion order.  Returns the number
+        of spans closed.
+        """
+        self.calls += 1
+        if not self.enabled:
+            return 0
+        closed = 0
+        for span_id in sorted(self._open, reverse=True):
+            if span_id == root_id or not self._is_descendant(span_id, root_id):
+                continue
+            span = self._open.pop(span_id)
+            span.end = float(end)
+            if attrs:
+                span.attrs.update((k, _jsonable(v)) for k, v in attrs.items())
+            self.spans.append(span)
+            closed += 1
+        return closed
+
+    def _is_descendant(self, span_id: int, ancestor_id: int) -> bool:
+        seen = 0
+        parent = self._parents.get(span_id)
+        while parent is not None:
+            if parent == ancestor_id:
+                return True
+            parent = self._parents.get(parent)
+            seen += 1
+            if seen > len(self._parents):  # corrupt-trace cycle guard
+                break
+        return False
+
+    @contextmanager
+    def span(self, name: str, clock: SimClock, **attrs):
+        """Context manager: open at ``clock.now``, close at ``clock.now``.
+
+        The body is expected to advance *clock* by the modelled duration;
+        nested ``span()``/``begin(parent=CURRENT)`` calls inherit this
+        span as their parent.
+        """
+        span_id = self.begin(name, clock.now, **attrs)
+        if self.enabled:
+            self._stack.append(span_id)
+        try:
+            yield span_id
+        finally:
+            if self.enabled and self._stack and self._stack[-1] == span_id:
+                self._stack.pop()
+            self.end(span_id, clock.now)
+
+    # ------------------------------------------------------------------
+    # Introspection & export
+    # ------------------------------------------------------------------
+    @property
+    def num_spans(self) -> int:
+        """Completed spans recorded so far."""
+        return len(self.spans)
+
+    def clear(self) -> None:
+        """Drop all recorded spans and reset ids (not the call counter)."""
+        self.spans.clear()
+        self._open.clear()
+        self._stack.clear()
+        self._parents.clear()
+        self._next_id = 1
+
+    def to_jsonl(self) -> str:
+        """Serialise completed spans, one JSON object per line.
+
+        Key order and float formatting are fixed (``sort_keys``, compact
+        separators, ``repr``-based floats via :mod:`json`), so identical
+        span sequences serialise to identical bytes.
+        """
+        lines = [json.dumps({"schema": SCHEMA_VERSION},
+                            sort_keys=True, separators=(",", ":"))]
+        lines.extend(
+            json.dumps(span.to_dict(), sort_keys=True, separators=(",", ":"))
+            for span in self.spans)
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path) -> None:
+        """Write the trace to *path* (see :meth:`to_jsonl` for format)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+
+def read_jsonl(path_or_text) -> list[Span]:
+    """Parse a JSONL trace (a path or raw text) back into spans.
+
+    The schema header line is validated and skipped; unknown schema
+    versions raise ``ValueError`` so stale traces fail loudly.
+    """
+    if hasattr(path_or_text, "read"):
+        text = path_or_text.read()
+    elif "\n" in str(path_or_text) or str(path_or_text).startswith("{"):
+        text = str(path_or_text)
+    else:
+        with open(path_or_text, encoding="utf-8") as handle:
+            text = handle.read()
+    spans: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if "schema" in record and "id" not in record:
+            if record["schema"] != SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported trace schema {record['schema']!r} "
+                    f"(expected {SCHEMA_VERSION})")
+            continue
+        spans.append(Span.from_dict(record))
+    return spans

@@ -1,0 +1,144 @@
+"""Telemetry's overhead contract and result-equivalence guarantees.
+
+Two promises keep telemetry safe to ship enabled-by-default-off:
+
+1. **Disabled mode is free on hot paths.**  Instrumented loops hoist the
+   enabled flag into a local and skip all tracer calls when it is false.
+   :attr:`Tracer.calls` counts every begin/end/point/end_subtree
+   invocation, so "free" is assertable without timing: the counter must
+   not move while a disabled-mode hot path runs.
+
+2. **Recording never changes results.**  Spans observe the simulation;
+   they must not perturb it.  Same inputs with telemetry on and off must
+   produce identical simulation outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.analytics import PageRank, run_workload
+from repro.database import WorkloadGenerator, simulate_workload
+from repro.faults import FaultSchedule
+from repro.graph.generators import ldbc_like
+from repro.partitioning import make_partitioner
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = ldbc_like(num_vertices=800, avg_degree=10, seed=31)
+    partition = make_partitioner("ecr").partition(graph, 4)
+    bindings = WorkloadGenerator(graph, skew=0.5, seed=3).bindings(
+        "one_hop", 150)
+    return graph, partition, bindings
+
+
+class TestDisabledModeIsFree:
+    """The global tracer is disabled by default; hot paths must make
+    zero tracer calls in that mode (not merely cheap ones)."""
+
+    @pytest.mark.parametrize("algorithm", ["ldg", "fennel", "hdrf"])
+    def test_partitioner_hot_path_zero_calls(self, setup, algorithm):
+        graph, _, _ = setup
+        tracer = telemetry.get_tracer()
+        assert not tracer.enabled
+        before = tracer.calls
+        make_partitioner(algorithm).partition(graph, 4)
+        assert tracer.calls == before, (
+            f"{algorithm} made tracer calls with telemetry disabled — "
+            "the per-edge/per-vertex fast path must skip instrumentation")
+
+    def test_analytics_engine_zero_calls(self, setup):
+        graph, partition, _ = setup
+        tracer = telemetry.get_tracer()
+        before = tracer.calls
+        run_workload(graph, partition, PageRank(num_iterations=3))
+        assert tracer.calls == before
+
+    def test_database_simulator_zero_calls(self, setup):
+        graph, partition, bindings = setup
+        tracer = telemetry.get_tracer()
+        before = tracer.calls
+        simulate_workload(graph, partition, bindings, duration=0.2)
+        assert tracer.calls == before
+
+
+class TestRecordingDoesNotChangeResults:
+    def test_partitioner_same_assignment(self, setup):
+        graph, _, _ = setup
+        baseline = make_partitioner("ldg", seed=7).partition(graph, 4, seed=7)
+        with telemetry.recording(decision_sample_every=1):
+            traced = make_partitioner("ldg", seed=7).partition(graph, 4, seed=7)
+        assert np.array_equal(baseline.assignment, traced.assignment)
+
+    def test_analytics_same_run(self, setup):
+        graph, partition, _ = setup
+        schedule = FaultSchedule.single_crash(1, 0.05, 0.05, seed=5)
+        baseline = run_workload(graph, partition, PageRank(num_iterations=4),
+                                fault_schedule=schedule,
+                                checkpoint_interval=2)
+        with telemetry.recording():
+            traced = run_workload(graph, partition,
+                                  PageRank(num_iterations=4),
+                                  fault_schedule=schedule,
+                                  checkpoint_interval=2)
+        assert traced.execution_seconds == baseline.execution_seconds
+        assert traced.total_messages == baseline.total_messages
+        assert traced.total_network_bytes == baseline.total_network_bytes
+        assert traced.checkpoint_seconds_total == \
+            baseline.checkpoint_seconds_total
+        assert len(traced.recovery_events) == len(baseline.recovery_events)
+
+    def test_database_same_result(self, setup):
+        graph, partition, bindings = setup
+        schedule = FaultSchedule.single_crash(1, 0.05, 0.1, seed=9)
+
+        def run():
+            return simulate_workload(graph, partition, bindings,
+                                     duration=0.3, fault_schedule=schedule)
+
+        baseline = run()
+        with telemetry.recording():
+            traced = run()
+        assert traced.completed_queries == baseline.completed_queries
+        assert traced.failed_queries == baseline.failed_queries
+        assert traced.timeouts == baseline.timeouts
+        assert traced.retries == baseline.retries
+        assert traced.dropped_requests == baseline.dropped_requests
+        assert traced.network_bytes == baseline.network_bytes
+        assert np.array_equal(traced.latencies, baseline.latencies)
+        assert np.array_equal(traced.vertices_read_per_worker,
+                              baseline.vertices_read_per_worker)
+
+
+class TestBackwardsCompatibleMetrics:
+    """The old ad-hoc counter attributes survive as registry-backed
+    properties, and the registry exposes the same numbers by name."""
+
+    def test_simulation_result_properties(self, setup):
+        graph, partition, bindings = setup
+        result = simulate_workload(graph, partition, bindings, duration=0.2)
+        assert result.completed_queries == \
+            result.metrics.value("db.queries.completed")
+        assert result.timeouts == result.metrics.value("db.timeouts")
+        assert result.retries == result.metrics.value("db.retries")
+        assert result.network_bytes == \
+            result.metrics.value("db.network_bytes")
+        assert result.total_reads == result.metrics.value("db.reads.total")
+        # Histograms feed the same DistributionSummary the figures use.
+        lat = result.metrics.summary("db.query.latency_seconds")
+        assert lat.p99 >= lat.p95 >= lat.median
+
+    def test_analytics_run_properties(self, setup):
+        graph, partition, _ = setup
+        schedule = FaultSchedule.single_crash(1, 0.05, 0.05, seed=5)
+        run = run_workload(graph, partition, PageRank(num_iterations=4),
+                           fault_schedule=schedule, checkpoint_interval=2)
+        assert run.checkpoint_seconds_total == \
+            run.metrics.value("gas.checkpoint_seconds_total")
+        assert run.checkpoint_seconds_total > 0.0
+        assert run.metrics.value("gas.supersteps") == run.num_iterations
+        compute = run.metrics.summary("gas.machine.compute_seconds")
+        assert compute.maximum >= compute.median
