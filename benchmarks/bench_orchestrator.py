@@ -1,0 +1,78 @@
+"""Benchmark the orchestrator: cold serial vs warm vs parallel wall time.
+
+Runs a representative experiment subset three ways — cold serial
+(``jobs=1``, empty cache), warm serial (same cache, fresh process state)
+and cold parallel (``jobs=2``, empty cache) — asserts the three produce
+identical report digests and that the warm run executes zero jobs, then
+writes ``benchmarks/output/BENCH_orchestrator.json`` with the wall times
+and cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+ORCHESTRATOR_JSON = OUTPUT_DIR / "BENCH_orchestrator.json"
+
+#: Covers partitions, bindings, analytics, simulations and an active
+#: fault schedule while staying minutes-scale even at default scale.
+NAMES = ["table4", "figure7", "ablation-fault-tolerance"]
+
+
+def _run(names, *, jobs, cache_dir, fingerprint="bench-fp"):
+    from repro.orchestrator import ArtifactCache, run_experiments
+
+    started = time.time()
+    result = run_experiments(names, jobs=jobs,
+                             cache=ArtifactCache(cache_dir,
+                                                 fingerprint=fingerprint))
+    return result, time.time() - started
+
+
+def test_orchestrator_cold_warm_parallel(benchmark, tmp_path):
+    from repro import telemetry
+    from repro.orchestrator import reset_process_state
+
+    serial_dir = tmp_path / "serial"
+    cold_result, cold_seconds = benchmark.pedantic(
+        lambda: _run(NAMES, jobs=1, cache_dir=serial_dir),
+        rounds=1, iterations=1)
+
+    # Warm re-run against the same cache, with per-process state dropped
+    # so every read genuinely goes through the disk cache.
+    reset_process_state()
+    previous = telemetry.set_metrics(telemetry.MetricsRegistry())
+    try:
+        warm_result, warm_seconds = _run(NAMES, jobs=1, cache_dir=serial_dir)
+        warm_hits = int(telemetry.get_metrics().value("cache.hits"))
+    finally:
+        telemetry.set_metrics(previous)
+    assert warm_result.executed == {}, "warm run must execute zero jobs"
+    assert warm_hits > 0
+    assert warm_result.digests == cold_result.digests
+
+    reset_process_state()
+    parallel_result, parallel_seconds = _run(NAMES, jobs=2,
+                                             cache_dir=tmp_path / "parallel")
+    assert parallel_result.digests == cold_result.digests
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema": 1,
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+        "experiments": NAMES,
+        "cold_serial_seconds": round(cold_seconds, 3),
+        "warm_serial_seconds": round(warm_seconds, 3),
+        "cold_parallel_seconds": round(parallel_seconds, 3),
+        "parallel_jobs": 2,
+        "warm_cache_hits": warm_hits,
+        "cold_jobs_executed": sum(cold_result.executed.values()),
+        "cache_entries": cold_result.cache_stats["entries"],
+        "cache_bytes": cold_result.cache_stats["bytes"],
+    }
+    ORCHESTRATOR_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                                 + "\n")

@@ -21,7 +21,11 @@ The package provides, from scratch:
   registry, and profiling reports over both substrates (see
   ``docs/telemetry.md`` and the ``repro-trace`` CLI);
 * :mod:`repro.experiments` — one entry point per paper table/figure,
-  also available as ``python -m repro <experiment-id>``.
+  also available as ``python -m repro <experiment-id>``;
+* :mod:`repro.orchestrator` — the experiment suite as an explicit job
+  DAG with a content-addressed artifact cache and a process-pool
+  scheduler (``python -m repro run-all --jobs N``, ``repro cache
+  stats``; see ``docs/orchestrator.md``).
 
 Quickstart::
 

@@ -36,6 +36,12 @@ class FaultInjectionError(ReproError):
     (e.g. the zero-fault schedule failed to reproduce the baseline)."""
 
 
+class OrchestratorError(ReproError):
+    """The experiment orchestrator reached an invalid state: a malformed
+    job graph, an unserialisable artifact key, or a determinism violation
+    (two runs producing different bytes for the same report)."""
+
+
 class WorkerFailedError(SimulationError):
     """An operation targeted a crashed worker and no replica could take
     over (the entire k-safety replica chain is down)."""

@@ -245,11 +245,7 @@ def ablation_straggler(ctx: ExperimentContext | None = None,
     behind the paper's hash-partitioning recommendation for
     latency-critical workloads.
     """
-    from repro.database import simulate_workload
-
     ctx = ctx or ExperimentContext()
-    graph = ctx.graph(dataset)
-    bindings = ctx.bindings(dataset, "one_hop")
     report = ExperimentReport(
         "ablation-straggler",
         f"Tail latency with one worker at {slow_factor:.0%} speed "
@@ -261,18 +257,15 @@ def ablation_straggler(ctx: ExperimentContext | None = None,
     ))
     data = {}
     for algorithm in ("ecr", "ldg", "fennel", "mts"):
-        partition = ctx.online_partition(dataset, algorithm, num_workers)
-        healthy = simulate_workload(
-            graph, partition, bindings, clients_per_worker=12,
-            duration=ctx.profile.sim_duration)
+        healthy = ctx.simulation(dataset, algorithm, num_workers, "one_hop",
+                                 clients_per_worker=12)
         # Degrade the worker that serves the most reads — the worst case
         # the operator cares about.
         hot_worker = int(np.argmax(healthy.read_distribution()))
         speeds = [1.0] * num_workers
         speeds[hot_worker] = slow_factor
-        degraded = simulate_workload(
-            graph, partition, bindings, clients_per_worker=12,
-            duration=ctx.profile.sim_duration, worker_speeds=speeds)
+        degraded = ctx.simulation(dataset, algorithm, num_workers, "one_hop",
+                                  clients_per_worker=12, worker_speeds=speeds)
         h_p99 = healthy.latency().p99 * 1e3
         d_p99 = degraded.latency().p99 * 1e3
         data[algorithm] = (h_p99, d_p99)
@@ -307,9 +300,6 @@ def ablation_fault_tolerance(ctx: ExperimentContext | None = None,
     cost (state lost, migration traffic, re-homing quality) depends on the
     partitioning under test.
     """
-    from repro.analytics import PageRank
-    from repro.analytics.engine import run_workload
-    from repro.database import simulate_workload
     from repro.faults import (
         ChaosHarness,
         CrashInterval,
@@ -348,13 +338,11 @@ def ablation_fault_tolerance(ctx: ExperimentContext | None = None,
     ))
     online = {}
     for algorithm in ("ecr", "ldg", "fennel"):
-        partition = ctx.online_partition(dataset, algorithm, num_workers)
-        healthy = simulate_workload(
-            graph, partition, bindings, clients_per_worker=12,
-            duration=duration)
-        faulted = simulate_workload(
-            graph, partition, bindings, clients_per_worker=12,
-            duration=duration, fault_schedule=schedule)
+        healthy = ctx.simulation(dataset, algorithm, num_workers, "one_hop",
+                                 clients_per_worker=12)
+        faulted = ctx.simulation(dataset, algorithm, num_workers, "one_hop",
+                                 clients_per_worker=12,
+                                 fault_schedule=schedule)
         online[algorithm] = {
             "availability": faulted.availability,
             "timeouts": faulted.timeouts,
@@ -373,9 +361,7 @@ def ablation_fault_tolerance(ctx: ExperimentContext | None = None,
     # Offline: crash one machine mid-PageRank.  The crash instant is fixed
     # from the hash baseline's wall clock, so every algorithm faces the
     # same schedule.
-    iterations = ctx.profile.pagerank_iterations
-    reference = run_workload(graph, ctx.partition(dataset, "ecr", num_workers),
-                             PageRank(num_iterations=iterations))
+    reference = ctx.analytics_run(dataset, "ecr", num_workers, "pagerank")
     crash_at = 0.4 * reference.execution_seconds
     engine_schedule = FaultSchedule.single_crash(
         1 % num_workers, crash_at, 0.2 * reference.execution_seconds,
@@ -388,13 +374,12 @@ def ablation_fault_tolerance(ctx: ExperimentContext | None = None,
     ))
     offline = {}
     for algorithm in ("ecr", "ldg", "fennel", "hdrf"):
-        partition = ctx.partition(dataset, algorithm, num_workers)
-        healthy = run_workload(graph, partition,
-                               PageRank(num_iterations=iterations))
-        faulted = run_workload(graph, partition,
-                               PageRank(num_iterations=iterations),
-                               fault_schedule=engine_schedule,
-                               checkpoint_interval=2)
+        healthy = ctx.analytics_run(dataset, algorithm, num_workers,
+                                    "pagerank")
+        faulted = ctx.analytics_run(dataset, algorithm, num_workers,
+                                    "pagerank",
+                                    fault_schedule=engine_schedule,
+                                    checkpoint_interval=2)
         lost = sum(e.lost_vertices for e in faulted.recovery_events)
         offline[algorithm] = {
             "lost_vertices": lost,
@@ -441,7 +426,6 @@ def ablation_partitioning_cost(ctx: ExperimentContext | None = None,
     import tracemalloc
 
     from repro.experiments.runner import ExperimentContext as _Ctx
-    from repro.partitioning import make_partitioner
 
     ctx = ctx or ExperimentContext()
     graph = ctx.graph(dataset)

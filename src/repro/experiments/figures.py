@@ -202,7 +202,6 @@ def figure5(ctx: ExperimentContext | None = None,
     """Fig. 5: edge-cut ratio vs network I/O for the 1-hop workload."""
     ctx = ctx or ExperimentContext()
     graph = ctx.graph(dataset)
-    bindings = ctx.bindings(dataset, "one_hop")
     report = ExperimentReport(
         "figure5", f"Edge-cut ratio vs network I/O, 1-hop on {dataset}",
     )
@@ -215,10 +214,9 @@ def figure5(ctx: ExperimentContext | None = None,
         for k in ctx.profile.online_partitions:
             partition = ctx.online_partition(dataset, algorithm, k)
             ratio = edge_cut_ratio(graph, partition)
-            result = simulate_workload(
-                graph, partition, bindings,
+            result = ctx.simulation(
+                dataset, algorithm, k, "one_hop",
                 clients_per_worker=MEDIUM_LOAD_CLIENTS,
-                duration=ctx.profile.sim_duration,
             )
             # Normalise to per-query I/O: runs complete different query
             # counts in the fixed duration, while the paper measures the
@@ -241,13 +239,11 @@ def figure6(ctx: ExperimentContext | None = None,
             dataset: str = "ldbc-snb") -> ExperimentReport:
     """Fig. 6: aggregate throughput, 1-hop & 2-hop, medium & high load."""
     ctx = ctx or ExperimentContext()
-    graph = ctx.graph(dataset)
     report = ExperimentReport(
         "figure6", f"Aggregate throughput on {dataset} under medium/high load",
     )
     data: dict[tuple, float] = {}
     for kind in ("one_hop", "two_hop"):
-        bindings = ctx.bindings(dataset, kind)
         for label, clients in (("medium", MEDIUM_LOAD_CLIENTS),
                                ("high", HIGH_LOAD_CLIENTS)):
             table = report.add_table(Table(
@@ -257,11 +253,9 @@ def figure6(ctx: ExperimentContext | None = None,
             for k in ctx.profile.online_partitions:
                 row = {}
                 for algorithm in ONLINE_ALGORITHMS:
-                    partition = ctx.online_partition(dataset, algorithm, k)
-                    result = simulate_workload(
-                        graph, partition, bindings,
+                    result = ctx.simulation(
+                        dataset, algorithm, k, kind,
                         clients_per_worker=clients,
-                        duration=ctx.profile.sim_duration,
                     )
                     row[algorithm] = result.throughput
                     data[(kind, label, k, algorithm)] = result.throughput
@@ -277,8 +271,6 @@ def figure7(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
             num_workers: int = 16) -> ExperimentReport:
     """Fig. 7: per-worker vertex reads during the 1-hop workload."""
     ctx = ctx or ExperimentContext()
-    graph = ctx.graph(dataset)
-    bindings = ctx.bindings(dataset, "one_hop")
     report = ExperimentReport(
         "figure7",
         f"Vertex reads per worker, 1-hop on {dataset}, {num_workers} workers",
@@ -290,11 +282,9 @@ def figure7(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
     ))
     data = {}
     for algorithm in ONLINE_ALGORITHMS:
-        partition = ctx.online_partition(dataset, algorithm, num_workers)
-        result = simulate_workload(
-            graph, partition, bindings,
+        result = ctx.simulation(
+            dataset, algorithm, num_workers, "one_hop",
             clients_per_worker=MEDIUM_LOAD_CLIENTS,
-            duration=ctx.profile.sim_duration,
         )
         dist = summarize(result.read_distribution() / 1e3)
         data[algorithm] = dist
@@ -328,22 +318,24 @@ def figure8(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
         graph, num_workers, log.vertex_reads, seed=PARTITION_SEED,
     )
 
-    candidates = [(algorithm.upper(),
-                   ctx.online_partition(dataset, algorithm, num_workers))
-                  for algorithm in ONLINE_ALGORITHMS]
-    candidates.append(("MTS-W", weighted))
-
     table = report.add_table(Table(
         "Throughput and load-distribution RSD",
         ["Algorithm", "Throughput (q/s)", "Load RSD"],
     ))
     data = {}
-    for label, partition in candidates:
-        result = simulate_workload(
-            graph, partition, bindings,
-            clients_per_worker=MEDIUM_LOAD_CLIENTS,
-            duration=ctx.profile.sim_duration,
-        )
+    # Registry algorithms run through the cached simulation path; MTS-W's
+    # partition is derived from the recorded access log above, so it has
+    # no registry identity and runs the simulator directly.
+    results = [(algorithm.upper(),
+                ctx.simulation(dataset, algorithm, num_workers, "one_hop",
+                               clients_per_worker=MEDIUM_LOAD_CLIENTS))
+               for algorithm in ONLINE_ALGORITHMS]
+    results.append(("MTS-W", simulate_workload(
+        graph, weighted, bindings,
+        clients_per_worker=MEDIUM_LOAD_CLIENTS,
+        duration=ctx.profile.sim_duration,
+    )))
+    for label, result in results:
         rsd = relative_standard_deviation(result.read_distribution())
         data[label] = (result.throughput, rsd)
         table.add_row(label, round(result.throughput), round(rsd, 3))
@@ -358,8 +350,6 @@ def figure12(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
              total_clients: int = 192) -> ExperimentReport:
     """Fig. 12: fixed client population, growing cluster size."""
     ctx = ctx or ExperimentContext()
-    graph = ctx.graph(dataset)
-    bindings = ctx.bindings(dataset, "one_hop")
     report = ExperimentReport(
         "figure12",
         f"Aggregate throughput of {total_clients} concurrent clients, "
@@ -373,11 +363,9 @@ def figure12(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
     for k in ctx.profile.online_partitions:
         row = {}
         for algorithm in ONLINE_ALGORITHMS:
-            partition = ctx.online_partition(dataset, algorithm, k)
-            result = simulate_workload(
-                graph, partition, bindings,
+            result = ctx.simulation(
+                dataset, algorithm, k, "one_hop",
                 clients_per_worker=max(1, total_clients // k),
-                duration=ctx.profile.sim_duration,
             )
             row[algorithm] = result.throughput
         data[k] = row
@@ -399,8 +387,6 @@ def figure14(ctx: ExperimentContext | None = None,
     )
     data: dict[tuple, float] = {}
     for dataset in OFFLINE_DATASETS:
-        graph = ctx.graph(dataset)
-        bindings = ctx.bindings(dataset, "one_hop")
         table = report.add_table(Table(
             f"Throughput (queries/s) — {dataset}",
             ["Load", *[a.upper() for a in ONLINE_ALGORITHMS]],
@@ -409,11 +395,9 @@ def figure14(ctx: ExperimentContext | None = None,
                                ("high", HIGH_LOAD_CLIENTS)):
             row = {}
             for algorithm in ONLINE_ALGORITHMS:
-                partition = ctx.online_partition(dataset, algorithm, num_workers)
-                result = simulate_workload(
-                    graph, partition, bindings,
+                result = ctx.simulation(
+                    dataset, algorithm, num_workers, "one_hop",
                     clients_per_worker=clients,
-                    duration=ctx.profile.sim_duration,
                 )
                 row[algorithm] = result.throughput
                 data[(dataset, label, algorithm)] = result.throughput
@@ -432,8 +416,6 @@ def figure15(ctx: ExperimentContext | None = None,
     )
     data: dict[str, dict[str, object]] = {}
     for dataset in OFFLINE_DATASETS:
-        graph = ctx.graph(dataset)
-        bindings = ctx.bindings(dataset, "one_hop")
         table = report.add_table(Table(
             f"Reads per worker (thousands) — {dataset}",
             ["Algorithm", "Min", "p25", "Median", "p75", "p95", "p99",
@@ -441,11 +423,9 @@ def figure15(ctx: ExperimentContext | None = None,
         ))
         data[dataset] = {}
         for algorithm in ONLINE_ALGORITHMS:
-            partition = ctx.online_partition(dataset, algorithm, num_workers)
-            result = simulate_workload(
-                graph, partition, bindings,
+            result = ctx.simulation(
+                dataset, algorithm, num_workers, "one_hop",
                 clients_per_worker=MEDIUM_LOAD_CLIENTS,
-                duration=ctx.profile.sim_duration,
             )
             dist = summarize(result.read_distribution() / 1e3)
             data[dataset][algorithm] = dist

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.database import simulate_workload
 from repro.experiments.datasets import DATASETS, dataset_summary
 from repro.experiments.report import ExperimentReport, Table
 from repro.experiments.runner import ExperimentContext
@@ -69,8 +68,6 @@ def table5(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
            num_workers: int = 16) -> ExperimentReport:
     """Table 5: mean and tail latency of the 1-hop workload, 16 workers."""
     ctx = ctx or ExperimentContext()
-    graph = ctx.graph(dataset)
-    bindings = ctx.bindings(dataset, "one_hop")
     report = ExperimentReport(
         "table5",
         f"Mean and 99th-percentile latency (ms), 1-hop on {dataset}, "
@@ -82,14 +79,12 @@ def table5(ctx: ExperimentContext | None = None, dataset: str = "ldbc-snb",
     ))
     data = {}
     for algorithm in ONLINE_ALGORITHMS:
-        partition = ctx.online_partition(dataset, algorithm, num_workers)
         row = {}
         for label, clients in (("med", MEDIUM_LOAD_CLIENTS),
                                ("high", HIGH_LOAD_CLIENTS)):
-            result = simulate_workload(
-                graph, partition, bindings,
+            result = ctx.simulation(
+                dataset, algorithm, num_workers, "one_hop",
                 clients_per_worker=clients,
-                duration=ctx.profile.sim_duration,
             )
             row[label] = result.latency()
         data[algorithm] = row

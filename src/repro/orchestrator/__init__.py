@@ -1,0 +1,54 @@
+"""Experiment orchestration: job DAG, artifact cache, parallel scheduler.
+
+The experiment suite is a dependency graph — datasets feed partitionings,
+partitionings feed placements and analytics runs, binding sets feed
+database simulations, and everything feeds the tables and figures.  This
+package makes that graph explicit:
+
+* :mod:`~repro.orchestrator.cache` — a content-addressed on-disk store
+  for expensive intermediates, keyed by everything that determines their
+  bytes (dataset, scale, algorithm, k, seed, stream order, and a
+  fingerprint of the source tree).
+* :mod:`~repro.orchestrator.dag` — the planner: experiment names in,
+  stage-stratified :class:`JobGraph` out.
+* :mod:`~repro.orchestrator.scheduler` — serial or process-pool
+  execution with per-report digest assertions, so parallel runs are
+  provably byte-identical to serial ones.
+
+See ``docs/orchestrator.md`` for the model, cache layout, invalidation
+rules and resume semantics.
+"""
+
+from repro.orchestrator.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.orchestrator.dag import Job, JobGraph, build_plan
+from repro.orchestrator.scheduler import (
+    OrchestratorResult,
+    report_digest,
+    reset_process_state,
+    run_experiments,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "ArtifactCache",
+    "artifact_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "Job",
+    "JobGraph",
+    "build_plan",
+    "OrchestratorResult",
+    "report_digest",
+    "reset_process_state",
+    "run_experiments",
+]

@@ -1,0 +1,332 @@
+"""Content-addressed on-disk artifact cache for the experiment suite.
+
+Every expensive intermediate of the experimental apparatus — partitions,
+analytics runs, online simulations, binding sets, finished reports — is
+addressable by a key that hashes *everything the value depends on*:
+
+* the artifact kind (``partition``, ``analytics``, ``simulation``, …);
+* the input fields (dataset name, scale profile, algorithm, k, seed,
+  stream order, workload parameters, fault schedule, …);
+* a **code fingerprint** — a digest over every ``repro/**/*.py`` source
+  file, so any code change invalidates every artifact computed by the
+  previous code (the safe default for a reproduction: stale artifacts
+  can never masquerade as fresh results).
+
+Values are versioned pickle blobs under ``<root>/objects/<aa>/<key>.pkl``
+with a JSON meta sidecar per blob; the set of sidecars *is* the index
+(:meth:`ArtifactCache.index`), so concurrent writers never contend on a
+shared index file.  Writes are atomic (temp file + ``os.replace``), which
+makes the cache safe for the orchestrator's process pool: two workers
+racing to fill the same key both write identical content and the second
+rename simply wins.
+
+A corrupt or truncated blob is treated as a **miss** (and evicted), never
+a crash — an interrupted ``kill -9`` mid-write costs a recomputation, not
+a broken cache.
+
+Hit/miss/put/error counters are wired into the process-global
+:class:`repro.telemetry.MetricsRegistry` under the ``cache.*`` namespace
+(``cache.hits``, ``cache.misses.partition``, …).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from functools import lru_cache
+from pathlib import Path
+
+from repro.errors import OrchestratorError
+
+#: Bump when the blob layout changes; part of every key, so old blobs
+#: become unreachable (and collectable via ``gc``) rather than misread.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache location, overridable via ``$REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel returned by :meth:`ArtifactCache.fetch` on a miss, so cached
+#: values of ``None`` stay representable.
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Hashes relative path + bytes of each ``*.py`` under the installed
+    ``repro`` package in sorted order.  Any edit to any module therefore
+    produces a different fingerprint — and, because the fingerprint is
+    folded into every artifact key, a cold cache.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:20]
+
+
+def artifact_key(kind: str, fields: dict, *, fingerprint: str | None = None) -> str:
+    """Content address of one artifact.
+
+    ``fields`` must be JSON-serialisable (strings, numbers, booleans,
+    ``None``, and lists/tuples/dicts thereof); anything richer (a fault
+    schedule, a cost model) is keyed by its deterministic ``repr``
+    upstream.  The key is the SHA-256 of the canonical JSON encoding of
+    ``(schema, kind, fingerprint, fields)``.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "kind": kind,
+        "code": code_fingerprint() if fingerprint is None else fingerprint,
+        "fields": fields,
+    }
+    try:
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise OrchestratorError(
+            f"artifact fields for kind {kind!r} are not JSON-serialisable: "
+            f"{fields!r}") from exc
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Content-addressed pickle store with telemetry counters.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    fingerprint:
+        Code fingerprint folded into every key.  Defaults to
+        :func:`code_fingerprint`; tests pin it to probe key sensitivity
+        without editing source files.
+    metrics:
+        The :class:`~repro.telemetry.MetricsRegistry` receiving the
+        ``cache.*`` counters.  Defaults to the process-global registry.
+    """
+
+    def __init__(self, root: str | Path | None = None, *,
+                 fingerprint: str | None = None, metrics=None):
+        from repro import telemetry
+
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.metrics = metrics if metrics is not None else telemetry.get_metrics()
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def key(self, kind: str, fields: dict) -> str:
+        return artifact_key(kind, fields, fingerprint=self.fingerprint)
+
+    def _blob_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+    def fetch(self, kind: str, fields: dict):
+        """The cached value for ``(kind, fields)``, or :data:`MISS`.
+
+        A blob that cannot be unpickled (corrupt, truncated, foreign
+        schema) counts as a miss, is evicted, and bumps ``cache.errors``.
+        """
+        key = self.key(kind, fields)
+        path = self._blob_path(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+            if (not isinstance(record, dict)
+                    or record.get("schema") != CACHE_SCHEMA_VERSION
+                    or record.get("kind") != kind
+                    or "payload" not in record):
+                raise OrchestratorError(f"malformed cache record for {key}")
+            value = record["payload"]
+        except FileNotFoundError:
+            self._count("misses", kind)
+            return MISS
+        except Exception:
+            # Corrupt/truncated/alien blob: evict and treat as a miss.
+            self._count("errors", kind)
+            self._count("misses", kind)
+            self._evict(key)
+            return MISS
+        self._count("hits", kind)
+        return value
+
+    def store(self, kind: str, fields: dict, value, *,
+              digest: str | None = None) -> str:
+        """Atomically persist ``value``; returns its key.
+
+        When ``digest`` is given and an existing meta sidecar carries a
+        *different* digest for the same key, an
+        :class:`~repro.errors.OrchestratorError` is raised — this is the
+        byte-identity assertion the orchestrator runs on every report
+        (serial, parallel and resumed runs must all agree).
+        """
+        key = self.key(kind, fields)
+        if digest is not None:
+            existing = self.meta(kind, fields)
+            if existing is not None and existing.get("digest") not in (None, digest):
+                raise OrchestratorError(
+                    f"cache digest mismatch for {kind} artifact {key[:12]}…: "
+                    f"stored {existing['digest'][:12]}…, recomputed {digest[:12]}… "
+                    f"(non-deterministic experiment or stale cache)")
+        blob = pickle.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "kind": kind, "payload": value},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        meta = {
+            "key": key,
+            "kind": kind,
+            "fields": fields,
+            "code": self.fingerprint,
+            "schema": CACHE_SCHEMA_VERSION,
+            "size": len(blob),
+            "created": round(time.time(), 3),
+        }
+        if digest is not None:
+            meta["digest"] = digest
+        self._atomic_write(self._blob_path(key), blob)
+        self._atomic_write(self._meta_path(key),
+                           (json.dumps(meta, sort_keys=True) + "\n").encode())
+        self._count("puts", kind)
+        return key
+
+    def contains(self, kind: str, fields: dict) -> bool:
+        """Whether a blob exists for the key (no counter side effects)."""
+        return self._blob_path(self.key(kind, fields)).exists()
+
+    def meta(self, kind: str, fields: dict) -> dict | None:
+        """The meta sidecar for ``(kind, fields)``, or ``None``."""
+        try:
+            return json.loads(self._meta_path(self.key(kind, fields)).read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Index & maintenance
+    # ------------------------------------------------------------------
+    def index(self) -> list[dict]:
+        """All meta records, sorted by key (sidecar scan — no lock files)."""
+        objects = self.root / "objects"
+        entries = []
+        for meta_path in sorted(objects.glob("*/*.json")):
+            try:
+                entries.append(json.loads(meta_path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return entries
+
+    def stats(self) -> dict:
+        """Entry/byte totals per kind plus this process's counters."""
+        by_kind: dict[str, dict] = {}
+        total_entries = total_bytes = stale = 0
+        for entry in self.index():
+            kind = entry.get("kind", "?")
+            bucket = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += int(entry.get("size", 0))
+            total_entries += 1
+            total_bytes += int(entry.get("size", 0))
+            if entry.get("code") != self.fingerprint:
+                stale += 1
+        return {
+            "root": str(self.root),
+            "code_fingerprint": self.fingerprint,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "stale_entries": stale,
+            "kinds": {k: by_kind[k] for k in sorted(by_kind)},
+            "counters": {
+                name: self.metrics.value(name)
+                for name in self.metrics.names() if name.startswith("cache.")
+            },
+        }
+
+    def gc(self, *, max_age_days: float | None = None) -> dict:
+        """Remove invalidated entries; returns ``{"removed", "bytes"}``.
+
+        An entry is collectable when its code fingerprint differs from
+        the current one (the code that produced it no longer exists) or,
+        with ``max_age_days``, when it is older than that.  Orphan temp
+        files from interrupted writes are always removed.
+        """
+        removed = freed = 0
+        now = time.time()
+        for entry in self.index():
+            stale = entry.get("code") != self.fingerprint
+            expired = (max_age_days is not None
+                       and now - float(entry.get("created", now))
+                       > max_age_days * 86400.0)
+            if stale or expired:
+                self._evict(entry["key"])
+                removed += 1
+                freed += int(entry.get("size", 0))
+        for tmp in (self.root / "objects").glob("*/.tmp-*"):
+            tmp.unlink(missing_ok=True)
+        return {"removed": removed, "bytes": freed}
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of blobs removed."""
+        removed = 0
+        for blob in (self.root / "objects").glob("*/*.pkl"):
+            blob.unlink(missing_ok=True)
+            removed += 1
+        for meta in (self.root / "objects").glob("*/*.json"):
+            meta.unlink(missing_ok=True)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _evict(self, key: str) -> None:
+        self._blob_path(key).unlink(missing_ok=True)
+        self._meta_path(key).unlink(missing_ok=True)
+
+    def _count(self, outcome: str, kind: str) -> None:
+        self.metrics.counter(f"cache.{outcome}").inc()
+        self.metrics.counter(f"cache.{outcome}.{kind}").inc()
+
+    # Convenience accessors for tests and the CLI ----------------------
+    @property
+    def hits(self) -> int:
+        return int(self.metrics.value("cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.metrics.value("cache.misses"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache({str(self.root)!r}, code={self.fingerprint[:8]})"

@@ -48,10 +48,12 @@ from repro.partitioning.registry import (
     CUT_MODELS,
     OFFLINE_ALGORITHMS,
     ONLINE_ALGORITHMS,
+    accepts_seed,
     available_algorithms,
     canonical_name,
     cut_model,
     make_partitioner,
+    make_seeded_partitioner,
 )
 from repro.partitioning.vertex_cut.dbh import DbhPartitioner
 from repro.partitioning.vertex_cut.greedy import GreedyVertexCutPartitioner
@@ -88,6 +90,8 @@ __all__ = [
     "edge_cut_to_edge_partition",
     "expected_replication_factor",
     "make_partitioner",
+    "make_seeded_partitioner",
+    "accepts_seed",
     "canonical_name",
     "cut_model",
     "available_algorithms",

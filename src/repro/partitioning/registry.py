@@ -49,6 +49,45 @@ _FACTORIES: dict[str, Callable[..., object]] = {
     "hg": GingerPartitioner,
 }
 
+#: Whether each factory accepts a ``seed=`` keyword (RNG tie-breaking).
+#: Hash-based algorithms are stateless and expose only ``hash_seed``;
+#: calling them with ``seed=`` is a caller error, not something to paper
+#: over with a retry.  The flag is validated against the constructor
+#: signatures at import time (see ``_validate_seed_flags``), so it cannot
+#: silently drift when an algorithm gains or loses its RNG.
+_ACCEPTS_SEED: dict[str, bool] = {
+    "ecr": False,
+    "ldg": True,
+    "fennel": True,
+    "re-ldg": True,
+    "re-fennel": True,
+    "iogp": False,
+    "leopard": False,
+    "mts": True,
+    "vcr": False,
+    "dbh": False,
+    "grid": True,
+    "greedy": True,
+    "hdrf": True,
+    "hcr": False,
+    "hg": True,
+}
+
+
+def _validate_seed_flags() -> None:
+    import inspect
+
+    for name, factory in _FACTORIES.items():
+        has_seed = "seed" in inspect.signature(factory).parameters
+        if has_seed != _ACCEPTS_SEED[name]:
+            raise ConfigurationError(
+                f"registry accepts_seed flag for {name!r} is "
+                f"{_ACCEPTS_SEED[name]} but the constructor "
+                f"{'has' if has_seed else 'lacks'} a seed parameter")
+
+
+_validate_seed_flags()
+
 #: Aliases used in the paper's figures.
 _ALIASES = {
     "fnl": "fennel",
@@ -94,9 +133,30 @@ def canonical_name(name: str) -> str:
     return key
 
 
+def accepts_seed(name: str) -> bool:
+    """Whether the partitioner registered under *name* takes ``seed=``.
+
+    Callers that sweep "all algorithms" with one seed use this to drop
+    the keyword for the stateless hash-based methods — explicitly, rather
+    than by catching ``TypeError`` (which would also swallow a genuine
+    constructor bug)."""
+    return _ACCEPTS_SEED[canonical_name(name)]
+
+
 def make_partitioner(name: str, **kwargs):
     """Instantiate the partitioner registered under *name* (or an alias)."""
     return _FACTORIES[canonical_name(name)](**kwargs)
+
+
+def make_seeded_partitioner(name: str, seed: int, **kwargs):
+    """Instantiate *name* with ``seed=seed`` when it accepts one.
+
+    The uniform constructor the experiment harness sweeps with: seedable
+    algorithms get the seed, hash-based ones are built without it, and a
+    ``TypeError`` raised *inside* a constructor propagates untouched."""
+    if accepts_seed(name):
+        return make_partitioner(name, seed=seed, **kwargs)
+    return make_partitioner(name, **kwargs)
 
 
 def cut_model(name: str) -> str:

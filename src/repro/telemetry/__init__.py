@@ -66,12 +66,36 @@ __all__ = [
     "trace_summary",
     "get_tracer",
     "set_tracer",
+    "get_metrics",
+    "set_metrics",
     "configure",
     "recording",
 ]
 
 #: The process-wide tracer instrumented code resolves at run time.
 _GLOBAL_TRACER = Tracer(enabled=False)
+
+#: The process-wide metrics registry.  Substrate runs carry their own
+#: per-run registries; this one holds cross-run process state — the
+#: orchestrator's ``cache.*`` hit/miss counters and the
+#: ``orchestrator.computed.*`` work counters.
+_GLOBAL_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _GLOBAL_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global metrics registry; returns the previous one.
+
+    Tests install a fresh registry to read counters in isolation.
+    """
+    global _GLOBAL_METRICS
+    previous = _GLOBAL_METRICS
+    _GLOBAL_METRICS = registry
+    return previous
 
 
 def get_tracer() -> Tracer:

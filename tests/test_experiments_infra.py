@@ -120,6 +120,42 @@ class TestRunner:
         assert a is b
 
 
+class TestSeedRegistry:
+    def test_flags_match_constructor_signatures(self):
+        import inspect
+
+        from repro.partitioning import accepts_seed, make_partitioner
+
+        for name in ("ecr", "ldg", "fennel", "hdrf", "vcr", "mts"):
+            factory = type(make_partitioner(name))
+            has_seed = "seed" in inspect.signature(factory).parameters
+            assert accepts_seed(name) == has_seed
+
+    def test_make_seeded_partitioner(self):
+        from repro.partitioning import make_seeded_partitioner
+
+        assert make_seeded_partitioner("ldg", 7).seed == 7
+        # Hash-based: constructed without the keyword, no TypeError.
+        make_seeded_partitioner("ecr", 7)
+
+    def test_constructor_type_errors_propagate(self, monkeypatch):
+        from repro.partitioning import registry
+
+        def exploding(seed=None):
+            raise TypeError("genuine constructor bug")
+
+        monkeypatch.setitem(registry._FACTORIES, "ldg", exploding)
+        with pytest.raises(TypeError, match="genuine constructor bug"):
+            registry.make_seeded_partitioner("ldg", 7)
+
+    def test_flag_drift_detected(self, monkeypatch):
+        from repro.partitioning import registry
+
+        monkeypatch.setitem(registry._ACCEPTS_SEED, "ecr", True)
+        with pytest.raises(ConfigurationError, match="accepts_seed"):
+            registry._validate_seed_flags()
+
+
 class TestCli:
     def test_list(self, capsys):
         assert cli_main(["list"]) == 0
@@ -128,9 +164,35 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert cli_main(["figure99"]) == 2
+        err = capsys.readouterr().err
+        # Known experiments are listed one per line.
+        assert "\n  table4\n" in err and "\n  figure2\n" in err
 
     def test_run_table3(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "quick")
         assert cli_main(["table3"]) == 0
         out = capsys.readouterr().out
         assert "twitter" in out and "usa-road" in out
+
+    def test_help_mentions_orchestrator_verbs(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["--help"])
+        out = capsys.readouterr().out
+        assert "run-all --jobs 4" in out
+        assert "cache stats" in out
+
+    def test_run_all_and_cache_stats(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli_main(["run-all", "table4", "--quiet"]) == 0
+        assert "[run-all: 1 experiments" in capsys.readouterr().out
+        assert cli_main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "partition" in out
+        assert cli_main(["cache", "gc"]) == 0
+        assert cli_main(["cache", "clear"]) == 0
+        capsys.readouterr()
+
+    def test_run_all_unknown_experiment(self, capsys):
+        assert cli_main(["run-all", "figure99"]) == 2
+        assert "\n  table4\n" in capsys.readouterr().err

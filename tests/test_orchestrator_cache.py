@@ -1,0 +1,250 @@
+"""Tests for the content-addressed artifact cache (repro.orchestrator.cache)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro import telemetry
+from repro.errors import OrchestratorError
+from repro.experiments import ExperimentContext
+from repro.orchestrator import (
+    CACHE_SCHEMA_VERSION,
+    MISS,
+    ArtifactCache,
+    artifact_key,
+    code_fingerprint,
+    default_cache_dir,
+)
+
+FIELDS = {
+    "dataset": "twitter",
+    "scale": "quick",
+    "algorithm": "ldg",
+    "k": 8,
+    "order": "natural",
+    "seed": 1301,
+}
+
+
+@pytest.fixture
+def metrics():
+    """A fresh process-global metrics registry, restored afterwards."""
+    registry = telemetry.MetricsRegistry()
+    previous = telemetry.set_metrics(registry)
+    yield registry
+    telemetry.set_metrics(previous)
+
+
+@pytest.fixture
+def cache(tmp_path, metrics):
+    return ArtifactCache(tmp_path / "cache", fingerprint="test-fp")
+
+
+class TestArtifactKey:
+    def test_deterministic(self):
+        assert (artifact_key("partition", FIELDS, fingerprint="fp")
+                == artifact_key("partition", dict(FIELDS), fingerprint="fp"))
+
+    @pytest.mark.parametrize("field,value", [
+        ("dataset", "uk-web"),
+        ("scale", "default"),
+        ("algorithm", "fennel"),
+        ("k", 16),
+        ("order", "random"),
+        ("seed", 1302),
+    ])
+    def test_any_field_change_changes_key(self, field, value):
+        changed = dict(FIELDS, **{field: value})
+        assert (artifact_key("partition", FIELDS, fingerprint="fp")
+                != artifact_key("partition", changed, fingerprint="fp"))
+
+    def test_kind_and_fingerprint_change_key(self):
+        base = artifact_key("partition", FIELDS, fingerprint="fp")
+        assert artifact_key("analytics", FIELDS, fingerprint="fp") != base
+        assert artifact_key("partition", FIELDS, fingerprint="fp2") != base
+
+    def test_unserialisable_fields_rejected(self):
+        with pytest.raises(OrchestratorError):
+            artifact_key("partition", {"x": object()}, fingerprint="fp")
+
+    def test_code_fingerprint_stable_and_short(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 20
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+
+class TestFetchStore:
+    def test_round_trip(self, cache):
+        assert cache.fetch("partition", FIELDS) is MISS
+        cache.store("partition", FIELDS, {"labels": [1, 2, 3]})
+        assert cache.fetch("partition", FIELDS) == {"labels": [1, 2, 3]}
+
+    def test_none_payload_is_not_a_miss(self, cache):
+        cache.store("partition", FIELDS, None)
+        assert cache.fetch("partition", FIELDS) is None
+
+    def test_miss_on_changed_field(self, cache):
+        cache.store("partition", FIELDS, "value")
+        for field, value in [("dataset", "uk-web"), ("scale", "default"),
+                             ("algorithm", "fennel"), ("k", 16),
+                             ("seed", 7), ("order", "bfs")]:
+            assert cache.fetch("partition", dict(FIELDS, **{field: value})) is MISS
+
+    def test_counters(self, cache, metrics):
+        cache.fetch("partition", FIELDS)
+        cache.store("partition", FIELDS, "v")
+        cache.fetch("partition", FIELDS)
+        assert metrics.value("cache.misses") == 1
+        assert metrics.value("cache.misses.partition") == 1
+        assert metrics.value("cache.puts") == 1
+        assert metrics.value("cache.hits") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_contains_has_no_counter_side_effects(self, cache, metrics):
+        assert not cache.contains("partition", FIELDS)
+        cache.store("partition", FIELDS, "v")
+        assert cache.contains("partition", FIELDS)
+        assert metrics.value("cache.hits") == 0
+        assert metrics.value("cache.misses") == 0
+
+    def test_fingerprint_change_is_a_miss(self, cache, tmp_path):
+        cache.store("partition", FIELDS, "old-code-value")
+        fresh = ArtifactCache(tmp_path / "cache", fingerprint="new-fp")
+        assert fresh.fetch("partition", FIELDS) is MISS
+
+
+class TestCorruption:
+    def test_corrupt_blob_is_miss_and_evicted(self, cache, metrics):
+        cache.store("partition", FIELDS, "value")
+        path = cache._blob_path(cache.key("partition", FIELDS))
+        path.write_bytes(b"not a pickle at all")
+        assert cache.fetch("partition", FIELDS) is MISS
+        assert metrics.value("cache.errors") == 1
+        assert not path.exists()
+
+    def test_truncated_blob_is_miss(self, cache):
+        cache.store("partition", FIELDS, {"big": list(range(1000))})
+        path = cache._blob_path(cache.key("partition", FIELDS))
+        path.write_bytes(path.read_bytes()[:20])
+        assert cache.fetch("partition", FIELDS) is MISS
+
+    def test_wrong_kind_record_is_miss(self, cache):
+        key = cache.key("partition", FIELDS)
+        cache._atomic_write(cache._blob_path(key), pickle.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "kind": "analytics",
+             "payload": "x"}))
+        assert cache.fetch("partition", FIELDS) is MISS
+
+    def test_alien_schema_is_miss(self, cache):
+        key = cache.key("partition", FIELDS)
+        cache._atomic_write(cache._blob_path(key), pickle.dumps(
+            {"schema": 999, "kind": "partition", "payload": "x"}))
+        assert cache.fetch("partition", FIELDS) is MISS
+
+    def test_corrupt_meta_sidecar_ignored_by_index(self, cache):
+        cache.store("partition", FIELDS, "v")
+        cache._meta_path(cache.key("partition", FIELDS)).write_text("{broken")
+        assert cache.index() == []
+        assert cache.meta("partition", FIELDS) is None
+
+
+class TestDigests:
+    def test_matching_digest_accepted(self, cache):
+        cache.store("report", {"experiment": "t"}, "r", digest="d1")
+        cache.store("report", {"experiment": "t"}, "r", digest="d1")
+
+    def test_mismatched_digest_raises(self, cache):
+        cache.store("report", {"experiment": "t"}, "r", digest="d1")
+        with pytest.raises(OrchestratorError, match="digest mismatch"):
+            cache.store("report", {"experiment": "t"}, "r2", digest="d2")
+
+    def test_meta_records_digest(self, cache):
+        cache.store("report", {"experiment": "t"}, "r", digest="d1")
+        assert cache.meta("report", {"experiment": "t"})["digest"] == "d1"
+
+
+class TestMaintenance:
+    def test_stats(self, cache):
+        cache.store("partition", FIELDS, "v1")
+        cache.store("analytics", dict(FIELDS, workload="pagerank"), "v2")
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert set(stats["kinds"]) == {"partition", "analytics"}
+        assert stats["counters"]["cache.puts"] == 2
+
+    def test_gc_collects_stale_fingerprints(self, cache, tmp_path):
+        cache.store("partition", FIELDS, "old")
+        fresh = ArtifactCache(tmp_path / "cache", fingerprint="new-fp")
+        fresh.store("partition", FIELDS, "new")
+        outcome = fresh.gc()
+        assert outcome["removed"] == 1
+        assert fresh.fetch("partition", FIELDS) == "new"
+
+    def test_gc_max_age(self, cache):
+        cache.store("partition", FIELDS, "v")
+        meta_path = cache._meta_path(cache.key("partition", FIELDS))
+        meta = json.loads(meta_path.read_text())
+        meta["created"] = 0.0
+        meta_path.write_text(json.dumps(meta))
+        assert cache.gc(max_age_days=1)["removed"] == 1
+
+    def test_gc_removes_orphan_tmp_files(self, cache):
+        cache.store("partition", FIELDS, "v")
+        orphan = cache._blob_path(cache.key("partition", FIELDS)).parent / ".tmp-dead"
+        orphan.write_bytes(b"partial write")
+        cache.gc()
+        assert not orphan.exists()
+
+    def test_clear(self, cache):
+        cache.store("partition", FIELDS, "v")
+        cache.store("bindings", {"dataset": "x"}, "w")
+        assert cache.clear() == 2
+        assert cache.fetch("partition", FIELDS) is MISS
+
+    def test_empty_cache_operations(self, cache):
+        assert cache.stats()["entries"] == 0
+        assert cache.gc()["removed"] == 0
+        assert cache.clear() == 0
+
+
+class TestContextIntegration:
+    def test_partition_backfills_disk_cache(self, cache):
+        ctx = ExperimentContext(scale="quick", cache=cache)
+        ctx.partition("usa-road", "ecr", 4)
+        assert cache.contains("partition", {
+            "dataset": "usa-road", "scale": "quick", "algorithm": "ecr",
+            "k": 4, "order": "natural", "seed": 1301,
+        })
+
+    def test_second_context_hits_without_recompute(self, cache, metrics):
+        ExperimentContext(scale="quick", cache=cache).partition(
+            "usa-road", "ecr", 4)
+        computed_before = metrics.value("orchestrator.computed.partition")
+        fresh = ExperimentContext(scale="quick", cache=cache)
+        partition = fresh.partition("usa-road", "ecr", 4)
+        assert partition.num_partitions == 4
+        assert metrics.value("orchestrator.computed.partition") == computed_before
+        assert metrics.value("cache.hits.partition") == 1
+
+    def test_uncached_context_still_works(self, metrics):
+        ctx = ExperimentContext(scale="quick")
+        a = ctx.partition("usa-road", "ecr", 4)
+        assert a is ctx.partition("usa-road", "ecr", 4)
+        assert metrics.value("orchestrator.computed.partition") == 1
+
+    def test_simulation_round_trips_through_cache(self, cache, metrics):
+        ctx = ExperimentContext(scale="quick", cache=cache)
+        first = ctx.simulation("ldbc-snb", "ecr", 4, "one_hop",
+                               clients_per_worker=2)
+        fresh = ExperimentContext(scale="quick", cache=cache)
+        again = fresh.simulation("ldbc-snb", "ecr", 4, "one_hop",
+                                 clients_per_worker=2)
+        assert again.completed_queries == first.completed_queries
+        assert metrics.value("orchestrator.computed.simulation") == 1
