@@ -25,6 +25,7 @@ from repro.database.queries import QueryPlan
 from repro.errors import ConfigurationError
 from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import Graph
+from repro.rng import make_rng
 
 MUTATION_KINDS = ("insert_edge", "update_vertex")
 
@@ -112,7 +113,7 @@ def mixed_read_write_bindings(generator, *, count: int = 1000,
     inserts: list[tuple[int, int]] = []
     if num_writes:
         graph = generator.graph
-        rng = np.random.default_rng(2000 + seed_offset)
+        rng = make_rng(2000 + seed_offset)
         sources = generator.sample_vertices(num_writes)
         fallback = generator.sample_vertices(num_writes)
         for index, src in enumerate(sources.tolist()):
@@ -127,6 +128,6 @@ def mixed_read_write_bindings(generator, *, count: int = 1000,
             inserts.append((src, dst))
             bindings.append(QueryBinding("insert_edge", src, dst))
     # Interleave deterministically so writes spread over the run.
-    rng = np.random.default_rng(1000 + seed_offset)
+    rng = make_rng(1000 + seed_offset)
     order = rng.permutation(len(bindings))
     return [bindings[i] for i in order.tolist()], inserts

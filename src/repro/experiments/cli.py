@@ -10,6 +10,7 @@ Usage::
     python -m repro cache stats                    # artifact cache state
     python -m repro figure1 --trace trace.jsonl    # record a telemetry trace
     python -m repro trace trace.jsonl              # profile a recorded trace
+    python -m repro lint src tests benchmarks      # reprolint invariants
 
 Every report is stamped with provenance — real wall time plus the number
 of telemetry spans and instrumentation calls recorded while it ran — so
@@ -42,6 +43,7 @@ examples:
   repro cache clear                 remove every cached artifact
   repro figure1 --trace t.jsonl     record a telemetry trace
   repro trace t.jsonl               profile a recorded trace
+  repro lint src tests              check determinism/registry invariants
 """
 
 
@@ -52,6 +54,11 @@ def main(argv=None) -> int:
         # tool; `python -m repro trace out.jsonl` is the same command.
         from repro.tools.trace_cli import main as trace_main
         return trace_main(argv[1:])
+    if argv[:1] == ["lint"]:
+        # The reprolint invariant checker (docs/static_analysis.md);
+        # `python -m repro lint ...` is the same as the repro-lint script.
+        from repro.tools.lint.cli import main as lint_main
+        return lint_main(argv[1:])
     if argv[:1] == ["run-all"]:
         return _run_all_command(argv[1:])
     if argv[:1] == ["cache"]:
@@ -66,8 +73,9 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         help="experiment id (e.g. table4, figure2), 'list', "
                              "'all', 'run-all [--jobs N]', 'cache "
-                             "{stats,gc,clear}', or 'trace <file>' to "
-                             "profile a recorded trace")
+                             "{stats,gc,clear}', 'trace <file>' to profile "
+                             "a recorded trace, or 'lint [paths]' to run "
+                             "the reprolint invariant checker")
     parser.add_argument("--scale", choices=("quick", "default", "large"),
                         default=None,
                         help="dataset scale profile (default: $REPRO_SCALE "

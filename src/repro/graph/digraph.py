@@ -12,11 +12,14 @@ paper's) materialises each dataset once and streams it in different orders.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 
 from repro.errors import GraphFormatError
+
+#: Anything ``np.ascontiguousarray`` can turn into an endpoint array.
+EdgeEndpoints = Union[np.ndarray, Sequence[int]]
 
 
 class Graph:
@@ -33,7 +36,8 @@ class Graph:
         Optional human-readable dataset name (used in reports).
     """
 
-    def __init__(self, num_vertices: int, src, dst, name: str = "graph"):
+    def __init__(self, num_vertices: int, src: EdgeEndpoints,
+                 dst: EdgeEndpoints, name: str = "graph") -> None:
         src = np.ascontiguousarray(src, dtype=np.int64)
         dst = np.ascontiguousarray(dst, dtype=np.int64)
         if src.ndim != 1 or dst.ndim != 1 or src.shape != dst.shape:
@@ -53,11 +57,11 @@ class Graph:
         self._dst = dst
         self.name = name
         # CSR caches, built lazily.
-        self._out_csr = None
-        self._in_csr = None
-        self._und_csr = None
-        self._out_degree = None
-        self._in_degree = None
+        self._out_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._in_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._und_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._out_degree: np.ndarray | None = None
+        self._in_degree: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -121,7 +125,8 @@ class Graph:
     # CSR construction
     # ------------------------------------------------------------------
     @staticmethod
-    def _build_csr(keys: np.ndarray, values: np.ndarray, n: int):
+    def _build_csr(keys: np.ndarray, values: np.ndarray,
+                   n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Sort ``values`` by ``keys`` and return ``(indptr, indices, order)``.
 
         ``order`` maps CSR slots back to original edge ids, so callers can
@@ -134,17 +139,17 @@ class Graph:
         np.cumsum(counts, out=indptr[1:])
         return indptr, indices, order
 
-    def _ensure_out_csr(self):
+    def _ensure_out_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._out_csr is None:
             self._out_csr = self._build_csr(self._src, self._dst, self._n)
         return self._out_csr
 
-    def _ensure_in_csr(self):
+    def _ensure_in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._in_csr is None:
             self._in_csr = self._build_csr(self._dst, self._src, self._n)
         return self._in_csr
 
-    def _ensure_und_csr(self):
+    def _ensure_und_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         if self._und_csr is None:
             keys = np.concatenate([self._src, self._dst])
             values = np.concatenate([self._dst, self._src])

@@ -39,6 +39,7 @@ import tempfile
 import time
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 from repro.errors import OrchestratorError
 
@@ -51,7 +52,7 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Sentinel returned by :meth:`ArtifactCache.fetch` on a miss, so cached
 #: values of ``None`` stay representable.
-MISS = object()
+MISS: Any = object()
 
 
 def default_cache_dir() -> Path:
@@ -121,7 +122,8 @@ class ArtifactCache:
     """
 
     def __init__(self, root: str | Path | None = None, *,
-                 fingerprint: str | None = None, metrics=None):
+                 fingerprint: str | None = None,
+                 metrics: Any = None) -> None:
         from repro import telemetry
 
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -143,7 +145,7 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
-    def fetch(self, kind: str, fields: dict):
+    def fetch(self, kind: str, fields: dict) -> Any:
         """The cached value for ``(kind, fields)``, or :data:`MISS`.
 
         A blob that cannot be unpickled (corrupt, truncated, foreign
@@ -172,7 +174,7 @@ class ArtifactCache:
         self._count("hits", kind)
         return value
 
-    def store(self, kind: str, fields: dict, value, *,
+    def store(self, kind: str, fields: dict, value: Any, *,
               digest: str | None = None) -> str:
         """Atomically persist ``value``; returns its key.
 

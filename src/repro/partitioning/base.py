@@ -19,6 +19,7 @@ arriving stream element into the partition maximising an objective
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -29,7 +30,7 @@ from repro.graph.stream import EdgeStream, VertexStream
 UNASSIGNED = -1
 
 
-def check_num_partitions(k: int) -> int:
+def check_num_partitions(k: Any) -> int:
     """Validate a partition count."""
     if not isinstance(k, (int, np.integer)) or k < 1:
         raise ConfigurationError(f"number of partitions must be a positive int, got {k!r}")
@@ -45,7 +46,8 @@ class VertexPartition:
 
     cut_model = "edge-cut"
 
-    def __init__(self, num_partitions: int, assignment, algorithm: str = "?"):
+    def __init__(self, num_partitions: int, assignment: Any,
+                 algorithm: str = "?") -> None:
         self.num_partitions = check_num_partitions(num_partitions)
         self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
         if self.assignment.ndim != 1:
@@ -92,8 +94,8 @@ class EdgePartition:
 
     cut_model = "vertex-cut"
 
-    def __init__(self, num_partitions: int, assignment, algorithm: str = "?",
-                 masters=None):
+    def __init__(self, num_partitions: int, assignment: Any,
+                 algorithm: str = "?", masters: Any = None) -> None:
         self.num_partitions = check_num_partitions(num_partitions)
         self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
         if self.assignment.ndim != 1:
@@ -136,7 +138,7 @@ class VertexPartitioner(ABC):
     name = "?"
 
     @abstractmethod
-    def partition_stream(self, stream, num_partitions: int, *,
+    def partition_stream(self, stream: Iterable, num_partitions: int, *,
                          num_vertices: int) -> VertexPartition:
         """Single pass over a vertex stream; returns the partitioning.
 
@@ -146,7 +148,7 @@ class VertexPartitioner(ABC):
         """
 
     def partition(self, graph: Graph, num_partitions: int, *,
-                  order: str = "random", seed=None) -> VertexPartition:
+                  order: str = "random", seed: Any = None) -> VertexPartition:
         """Partition an in-memory graph by streaming it in *order*."""
         stream = VertexStream(graph, order=order, seed=seed)
         return self.partition_stream(stream, num_partitions,
@@ -162,12 +164,12 @@ class EdgePartitioner(ABC):
     name = "?"
 
     @abstractmethod
-    def partition_stream(self, stream, num_partitions: int, *,
+    def partition_stream(self, stream: Iterable, num_partitions: int, *,
                          num_vertices: int, num_edges: int) -> EdgePartition:
         """Single pass over an edge stream; returns the partitioning."""
 
     def partition(self, graph: Graph, num_partitions: int, *,
-                  order: str = "random", seed=None) -> EdgePartition:
+                  order: str = "random", seed: Any = None) -> EdgePartition:
         """Partition an in-memory graph by streaming its edges in *order*."""
         stream = EdgeStream(graph, order=order, seed=seed)
         return self.partition_stream(stream, num_partitions,
@@ -178,7 +180,7 @@ class EdgePartitioner(ABC):
         return f"{type(self).__name__}()"
 
 
-def iter_edge_arrivals(stream):
+def iter_edge_arrivals(stream: Iterable) -> Iterator[tuple[int, int, int]]:
     """Yield ``(edge_id, src, dst)`` tuples from an edge stream, cheaply.
 
     Graph-backed :class:`~repro.graph.stream.EdgeStream` objects expose
@@ -199,7 +201,8 @@ def iter_edge_arrivals(stream):
             yield int(edge_id), int(src), int(dst)
 
 
-def edge_stream_arrays(stream):
+def edge_stream_arrays(
+        stream: Iterable) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Materialise an edge stream as ``(edge_ids, src, dst)`` arrays.
 
     Used by the *stateless* hash partitioners (VCR, DBH-exact, HCR), whose
@@ -221,7 +224,8 @@ def edge_stream_arrays(stream):
             np.asarray(dsts, dtype=np.int64))
 
 
-def argmin_with_ties(values: np.ndarray, rng=None) -> int:
+def argmin_with_ties(values: np.ndarray,
+                     rng: np.random.Generator | None = None) -> int:
     """Index of the minimum, breaking ties uniformly at random when *rng*
     is given (deterministically taking the first otherwise)."""
     values = np.asarray(values)
@@ -233,7 +237,7 @@ def argmin_with_ties(values: np.ndarray, rng=None) -> int:
 
 
 def argmax_with_ties(values: np.ndarray, tie_break: np.ndarray | None = None,
-                     rng=None) -> int:
+                     rng: np.random.Generator | None = None) -> int:
     """Index of the maximum of *values*.
 
     Ties are broken by the smallest *tie_break* value (typically current

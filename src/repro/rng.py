@@ -17,15 +17,17 @@ Two primitives are provided:
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
-SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+SeedLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 _U64 = np.uint64
 _MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
-def make_rng(seed=None) -> np.random.Generator:
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for *seed*.
 
     ``seed`` may be ``None`` (non-deterministic), an ``int``, a
@@ -37,7 +39,8 @@ def make_rng(seed=None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def derive_rng(rng: np.random.Generator, *labels) -> np.random.Generator:
+def derive_rng(rng: np.random.Generator,
+               *labels: Union[int, str]) -> np.random.Generator:
     """Derive an independent child generator from *rng*.
 
     *labels* (ints or strings) namespace the child stream, so the same
@@ -49,7 +52,7 @@ def derive_rng(rng: np.random.Generator, *labels) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(material))
 
 
-def splitmix64(value, seed: int = 0):
+def splitmix64(value: Union[int, np.ndarray], seed: int = 0) -> np.ndarray:
     """SplitMix64 avalanche hash of ``value`` (scalar or ndarray) → uint64.
 
     Deterministic given ``(value, seed)``; changing ``seed`` yields an
@@ -73,13 +76,13 @@ class SeededHash:
     makes hash partitioning "embarrassingly parallel" in the paper.
     """
 
-    def __init__(self, buckets: int, seed: int = 0):
+    def __init__(self, buckets: int, seed: int = 0) -> None:
         if buckets <= 0:
             raise ValueError(f"buckets must be positive, got {buckets}")
         self.buckets = int(buckets)
         self.seed = int(seed)
 
-    def __call__(self, value):
+    def __call__(self, value: Union[int, np.ndarray]) -> Union[int, np.ndarray]:
         """Hash a scalar or ndarray of non-negative ints into buckets."""
         hashed = splitmix64(value, self.seed)
         result = (hashed % _U64(self.buckets)).astype(np.int64)

@@ -1,0 +1,37 @@
+"""reprolint — AST-based invariants checker for this repository.
+
+The paper's methodology depends on bit-for-bit reproducible runs, and the
+repo enforces that contract by *convention*: everything stochastic draws
+randomness through :mod:`repro.rng`, simulated-time substrates never read
+the wall clock, and the partitioner registry's ``accepts_seed`` flags match
+the constructor signatures.  Conventions drift.  ``reprolint`` turns each
+one into a static rule (codes ``RL001``–``RL105``) checked over the AST, so
+a determinism violation is caught in review — before it silently changes
+every downstream assignment, poisons a cache key, or breaks the
+serial≡parallel digest guarantee.
+
+Run it as ``python -m repro lint [paths]`` or via the ``repro-lint``
+console script; see ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from repro.tools.lint.engine import (
+    Finding,
+    LintResult,
+    Module,
+    Project,
+    Rule,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Module",
+    "Project",
+    "Rule",
+    "all_rules",
+    "register",
+    "run_lint",
+]

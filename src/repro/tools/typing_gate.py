@@ -1,0 +1,203 @@
+"""Ratcheted mypy gate: ``python -m repro.tools.typing_gate``.
+
+The typing posture of this repo is two-tier (see ``[tool.mypy]`` in
+``pyproject.toml``): the determinism-critical core — ``repro.rng``,
+``repro.graph.digraph``, ``repro.partitioning.base``,
+``repro.orchestrator.cache`` — is checked strictly and must stay at
+**zero** errors; everything else is lenient but *ratcheted* through a
+checked-in baseline so the error count can only go down.
+
+The baseline file (``mypy-baseline.txt``) maps path patterns to the
+maximum number of mypy errors allowed there::
+
+    # count<TAB>pattern    (first matching pattern wins)
+    0\tsrc/repro/rng.py
+    *\tsrc/repro/**        (``*`` = not yet ratcheted, any count allowed)
+
+Workflow: run mypy, count errors per file, compare against the baseline.
+A file exceeding its allowance (or matching no pattern) fails the gate;
+a file *under* its numeric allowance prints a ratchet hint.  ``--update``
+rewrites numeric entries to the measured counts (never loosening ``*``
+into a number without a human in the loop — it only tightens existing
+numeric entries and reports which ``*`` patterns are ready to pin).
+
+Exit codes: 0 gate holds, 1 regressions, 2 usage error, 3 mypy not
+installed (the gate cannot run — CI installs a pinned mypy; locally,
+``pip install mypy`` first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = "mypy-baseline.txt"
+UNRATCHETED = "*"
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_NO_MYPY = 3
+
+#: ``path:line: error: message  [code]`` — mypy's default output shape.
+_ERROR_LINE = re.compile(r"^(?P<path>[^:\n]+):\d+(?::\d+)?: error: ")
+
+
+def parse_error_counts(output: str) -> dict:
+    """Per-file error counts from raw mypy stdout."""
+    counts: dict = {}
+    for line in output.splitlines():
+        match = _ERROR_LINE.match(line)
+        if match:
+            path = match.group("path").replace("\\", "/")
+            counts[path] = counts.get(path, 0) + 1
+    return counts
+
+
+def load_baseline(path: Path) -> list:
+    """Ordered ``(allowance, pattern)`` pairs; allowance int or ``'*'``."""
+    entries: list = []
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        allowance, _, pattern = line.partition("\t")
+        if not pattern:
+            # Be forgiving about runs of spaces instead of a tab.
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise ValueError(f"malformed baseline line: {raw!r}")
+            allowance, pattern = parts
+        entries.append((allowance if allowance == UNRATCHETED
+                        else int(allowance), pattern.strip()))
+    return entries
+
+
+def render_baseline(entries: list) -> str:
+    lines = [
+        "# mypy-baseline.txt — ratcheted per-path mypy error allowances.",
+        "# Format: allowance<TAB>pattern; first matching pattern wins.",
+        "# '*' means not yet ratcheted (any count); numbers only go down.",
+        "# Maintained by `python -m repro.tools.typing_gate --update`.",
+    ]
+    lines.extend(f"{allowance}\t{pattern}" for allowance, pattern in entries)
+    return "\n".join(lines) + "\n"
+
+
+def _allowance_for(path: str, entries: list):
+    for allowance, pattern in entries:
+        if fnmatch.fnmatch(path, pattern):
+            return allowance, pattern
+    return None, None
+
+
+def compare(entries: list, counts: dict) -> tuple:
+    """``(regressions, improvements)`` of the measured counts vs baseline.
+
+    Regressions: files over their numeric allowance, or with errors but
+    no matching pattern.  Improvements: files strictly under a numeric
+    allowance (ratchet candidates).
+    """
+    regressions: list = []
+    improvements: list = []
+    for path in sorted(counts):
+        count = counts[path]
+        allowance, pattern = _allowance_for(path, entries)
+        if allowance is None:
+            regressions.append((path, count, 0,
+                                "no baseline pattern covers this file"))
+        elif allowance != UNRATCHETED and count > allowance:
+            regressions.append((path, count, allowance,
+                                f"over the {pattern!r} allowance"))
+    for allowance, pattern in entries:
+        if allowance == UNRATCHETED:
+            continue
+        measured = sum(c for p, c in counts.items()
+                       if fnmatch.fnmatch(p, pattern)
+                       and _allowance_for(p, entries)[1] == pattern)
+        if measured < allowance:
+            improvements.append((pattern, measured, allowance))
+    return regressions, improvements
+
+
+def tighten(entries: list, counts: dict) -> list:
+    """Baseline with numeric allowances lowered to the measured counts."""
+    updated: list = []
+    for allowance, pattern in entries:
+        if allowance == UNRATCHETED:
+            updated.append((allowance, pattern))
+            continue
+        measured = sum(c for p, c in counts.items()
+                       if fnmatch.fnmatch(p, pattern)
+                       and _allowance_for(p, entries)[1] == pattern)
+        updated.append((min(allowance, measured), pattern))
+    return updated
+
+
+def run_mypy(paths: list) -> tuple:
+    """``(exit_code, stdout)`` of mypy over *paths*, or ``(None, '')``
+    when mypy is not importable in this interpreter."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return None, ""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary", *paths],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-typing-gate",
+        description="Run mypy and enforce the ratcheted error baseline.")
+    parser.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                        help="paths to type-check (default: src)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="FILE", help="ratchet file (count\\tpattern)")
+    parser.add_argument("--update", action="store_true",
+                        help="tighten numeric allowances to measured counts")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"baseline file not found: {baseline_path}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        entries = load_baseline(baseline_path)
+    except ValueError as error:
+        print(f"bad baseline: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    code, output = run_mypy(args.paths or ["src"])
+    if code is None:
+        print("mypy is not installed in this environment; the typing gate "
+              "needs it (CI installs a pinned version)", file=sys.stderr)
+        return EXIT_NO_MYPY
+    counts = parse_error_counts(output)
+
+    regressions, improvements = compare(entries, counts)
+    for path, count, allowance, reason in regressions:
+        print(f"REGRESSION {path}: {count} error(s), allowance "
+              f"{allowance} — {reason}")
+    for pattern, measured, allowance in improvements:
+        print(f"ratchet opportunity: {pattern} measured {measured} < "
+              f"allowance {allowance}"
+              + ("" if args.update else " (run with --update to tighten)"))
+
+    if args.update:
+        baseline_path.write_text(render_baseline(tighten(entries, counts)))
+        print(f"baseline tightened: {baseline_path}")
+
+    total = sum(counts.values())
+    print(f"[typing-gate: {total} mypy error(s) across {len(counts)} "
+          f"file(s), {len(regressions)} regression(s)]")
+    return EXIT_REGRESSION if regressions else EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,9 +1,30 @@
 """Tests for the top-level public API surface."""
 
+import importlib
+
 import numpy as np
 import pytest
 
 import repro
+
+#: Every module in the package that declares an ``__all__``.  Mirrors the
+#: reprolint RL102/RL105 rules so the export contract is enforced both at
+#: lint time (statically) and at test time (against the live modules).
+PUBLIC_MODULES = (
+    "repro",
+    "repro.analytics",
+    "repro.analytics.workloads",
+    "repro.database",
+    "repro.experiments",
+    "repro.faults",
+    "repro.graph",
+    "repro.graph.generators",
+    "repro.metrics",
+    "repro.orchestrator",
+    "repro.partitioning",
+    "repro.telemetry",
+    "repro.tools.lint",
+)
 from repro.errors import (
     ConfigurationError,
     GraphFormatError,
@@ -30,6 +51,40 @@ class TestExports:
     def test_single_catch_all(self):
         with pytest.raises(ReproError):
             repro.make_partitioner("nonexistent")
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_subpackage_all_imports_cleanly(self, module_name):
+        """Each subpackage declares an ``__all__`` with no dangling names."""
+        module = importlib.import_module(module_name)
+        exported = module.__all__
+        assert exported, module_name
+        assert len(exported) == len(set(exported)), \
+            f"duplicate __all__ entries in {module_name}"
+        for name in exported:
+            assert getattr(module, name, None) is not None, \
+                f"{module_name}.__all__ names {name!r} but it does not resolve"
+
+    def test_public_modules_list_is_complete(self):
+        """Every package module declaring __all__ appears in PUBLIC_MODULES."""
+        import re
+        from pathlib import Path
+
+        declares_all = re.compile(r"^__all__\s*=", re.MULTILINE)
+        root = Path(repro.__file__).resolve().parent
+        declared = set()
+        for path in sorted(root.rglob("*.py")):
+            if declares_all.search(path.read_text(encoding="utf-8")):
+                parts = ("repro",) + path.relative_to(root).with_suffix("").parts
+                if parts[-1] == "__init__":
+                    parts = parts[:-1]
+                declared.add(".".join(parts))
+        assert declared == set(PUBLIC_MODULES)
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)  # noqa: S102 - deliberate
+        exported = {n for n in namespace if not n.startswith("_")}
+        assert exported == set(repro.__all__) - {"__version__"}
 
 
 class TestDocstringExample:

@@ -1,0 +1,538 @@
+"""Tests for reprolint (`repro.tools.lint`).
+
+Each shipped rule gets a miniature fixture tree (written to ``tmp_path``
+so no bad code is ever checked in) where the rule fires with its expected
+``RLxxx`` code at the expected ``file:line`` — plus the top-level
+guarantee that the *real* tree is clean.  The fixture sources live in
+this file as strings; reprolint parses ASTs, so banned patterns inside
+string literals never trigger it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import all_rules, run_lint
+from repro.tools.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE
+from repro.tools.lint.cli import main as lint_main
+from repro.tools.lint.engine import _package_parts
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_tree(root: Path, files: dict) -> Path:
+    """Materialise ``{relative_path: source}`` under *root*."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root
+
+
+def findings_for(tmp_path: Path, files: dict, **kwargs):
+    return run_lint([write_tree(tmp_path, files)], **kwargs).findings
+
+
+def single(findings, code: str):
+    matching = [f for f in findings if f.code == code]
+    assert len(matching) == 1, (code, [f.render() for f in findings])
+    return matching[0]
+
+
+# ----------------------------------------------------------------------
+# The real tree is clean — the acceptance criterion behind `repro lint`.
+# ----------------------------------------------------------------------
+class TestRealTree:
+    def test_src_is_clean(self):
+        result = run_lint([REPO_ROOT / "src"])
+        assert result.clean, [f.render() for f in result.findings]
+        assert result.files_checked > 50
+
+    def test_tests_and_benchmarks_are_clean(self):
+        result = run_lint([REPO_ROOT / "tests", REPO_ROOT / "benchmarks"])
+        assert result.clean, [f.render() for f in result.findings]
+
+    def test_rule_catalogue_is_stable(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == sorted(codes)
+        assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
+                         "RL006", "RL101", "RL102", "RL103", "RL104",
+                         "RL105"]
+        assert all(rule.summary for rule in all_rules())
+
+
+# ----------------------------------------------------------------------
+# Engine mechanics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_package_parts(self):
+        assert _package_parts(Path("src/repro/rng.py")) == ("repro", "rng")
+        assert _package_parts(Path("src/repro/database/mutations.py")) == \
+            ("repro", "database", "mutations")
+        assert _package_parts(Path("src/repro/__init__.py")) == ("repro",)
+        assert _package_parts(Path("tests/test_rng.py")) == ()
+        assert _package_parts(Path("repro.py")) == ()
+
+    def test_inline_pragma_suppresses(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/bad.py":
+                "import numpy as np\n"
+                "rng = np.random.default_rng(7)"
+                "  # reprolint: ignore[RL001]\n",
+        })
+        assert findings == []
+
+    def test_inline_pragma_is_code_specific(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/bad.py":
+                "import numpy as np\n"
+                "rng = np.random.default_rng(7)"
+                "  # reprolint: ignore[RL005]\n",
+        })
+        assert [f.code for f in findings] == ["RL001"]
+
+    def test_file_pragma_skips_whole_file(self, tmp_path):
+        result = run_lint([write_tree(tmp_path, {
+            "repro/database/bad.py":
+                "# reprolint: ignore-file\n"
+                "import numpy as np\n"
+                "rng = np.random.default_rng(7)\n",
+        })])
+        assert result.clean
+        assert result.files_skipped == 1
+
+    def test_syntax_error_is_rl000(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/broken.py": "def oops(:\n",
+        })
+        finding = single(findings, "RL000")
+        assert "does not parse" in finding.message
+
+    def test_select_and_ignore(self, tmp_path):
+        files = {
+            "repro/database/bad.py":
+                "import numpy as np\n"
+                "import random\n"
+                "rng = np.random.default_rng(7)\n",
+        }
+        only_rl002 = findings_for(tmp_path, files, select=["RL002"])
+        assert [f.code for f in only_rl002] == ["RL002"]
+        without_rl001 = findings_for(tmp_path / "b", files, ignore=["RL001"])
+        assert [f.code for f in without_rl001] == ["RL002"]
+
+    def test_findings_are_deterministically_ordered(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/b.py": "import random\n",
+            "repro/database/a.py": "import random\n",
+        })
+        assert [Path(f.path).name for f in findings] == ["a.py", "b.py"]
+
+
+# ----------------------------------------------------------------------
+# Determinism rules
+# ----------------------------------------------------------------------
+class TestDeterminismRules:
+    def test_rl001_mutations_regression_fixture(self, tmp_path):
+        """Re-introducing the original mutations.py violation is caught.
+
+        This is a cut-down copy of the pre-fix
+        ``src/repro/database/mutations.py`` interleaving code — the first
+        real finding reprolint ever produced.
+        """
+        findings = findings_for(tmp_path, {
+            "repro/database/mutations.py": (
+                "import numpy as np\n"
+                "\n"
+                "def mixed_read_write_bindings(bindings, seed_offset=0):\n"
+                "    # Interleave deterministically so writes spread over "
+                "the run.\n"
+                "    rng = np.random.default_rng(1000 + seed_offset)\n"
+                "    order = rng.permutation(len(bindings))\n"
+                "    return [bindings[i] for i in order.tolist()]\n"
+            ),
+        })
+        finding = single(findings, "RL001")
+        assert finding.path.endswith("repro/database/mutations.py")
+        assert finding.line == 5
+        assert "make_rng" in finding.message
+
+    def test_rl001_allows_rng_module_itself(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/rng.py":
+                "import numpy as np\n"
+                "def make_rng(seed=None):\n"
+                "    return np.random.default_rng(seed)\n",
+        })
+        assert findings == []
+
+    def test_rl001_generator_annotations_are_fine(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/partitioning/thing.py":
+                "import numpy as np\n"
+                "def f(rng: np.random.Generator) -> np.random.Generator:\n"
+                "    return rng\n",
+        })
+        assert findings == []
+
+    def test_rl001_from_import(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/graph/gen.py": "from numpy.random import default_rng\n",
+        })
+        assert single(findings, "RL001").line == 1
+
+    def test_rl002_stdlib_random(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/graph/gen.py": "import random\n",
+            "repro/database/ids.py": "from secrets import token_hex\n",
+        })
+        assert sorted(f.code for f in findings) == ["RL002", "RL002"]
+
+    def test_rl003_wall_clock_in_simulated_time(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/simulation.py":
+                "import time\n"
+                "def now():\n"
+                "    return time.time()\n",
+        })
+        finding = single(findings, "RL003")
+        assert finding.line == 3
+        assert "wall-clock" in finding.message
+
+    def test_rl003_allows_wall_clock_in_cli_layers(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/experiments/cli.py":
+                "import time\n"
+                "started = time.time()\n",
+        })
+        assert findings == []
+
+    def test_rl003_datetime_now(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/faults.py":
+                "import datetime\n"
+                "stamp = datetime.datetime.now()\n",
+        })
+        assert single(findings, "RL003").line == 2
+
+    def test_rl004_set_iteration_in_decision_path(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/partitioning/choice.py":
+                "def pick(xs):\n"
+                "    for candidate in set(xs):\n"
+                "        return candidate\n",
+        })
+        finding = single(findings, "RL004")
+        assert finding.line == 2
+
+    def test_rl004_sorted_set_is_fine(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/partitioning/choice.py":
+                "def pick(xs):\n"
+                "    for candidate in sorted(set(xs)):\n"
+                "        return candidate\n",
+        })
+        assert findings == []
+
+    def test_rl004_set_comprehension_source(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/analytics/agg.py":
+                "def owners(parts):\n"
+                "    return [p for p in {x.owner for x in parts}]\n",
+        })
+        assert single(findings, "RL004").line == 2
+
+    def test_rl005_popitem(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/graph/cacheish.py":
+                "def evict(d):\n"
+                "    return d.popitem()\n",
+        })
+        assert single(findings, "RL005").line == 2
+
+    def test_rl006_env_read_outside_config_layer(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/partitioning/tuning.py":
+                "import os\n"
+                "GAMMA = float(os.environ.get('REPRO_GAMMA', '1.5'))\n",
+        })
+        assert single(findings, "RL006").line == 2
+
+    def test_rl006_allows_experiments_and_orchestrator(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/experiments/datasets.py":
+                "import os\n"
+                "scale = os.environ.get('REPRO_SCALE', 'default')\n",
+            "repro/orchestrator/cache.py":
+                "import os\n"
+                "root = os.environ.get('REPRO_CACHE_DIR', '.repro-cache')\n",
+        })
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Contract rules
+# ----------------------------------------------------------------------
+_REGISTRY_FIXTURE = {
+    "repro/partitioning/base.py": (
+        "class VertexPartitioner:\n"
+        "    pass\n"
+    ),
+    "repro/partitioning/edge_cut/ldg.py": (
+        "from repro.partitioning.base import VertexPartitioner\n"
+        "\n"
+        "class LdgPartitioner(VertexPartitioner):\n"
+        "    def __init__(self, balance_slack=1.0, seed=None):\n"
+        "        self.seed = seed\n"
+    ),
+    "repro/partitioning/edge_cut/hashing.py": (
+        "from repro.partitioning.base import VertexPartitioner\n"
+        "\n"
+        "class HashVertexPartitioner(VertexPartitioner):\n"
+        "    def __init__(self, hash_seed=0):\n"
+        "        self.hash_seed = hash_seed\n"
+    ),
+}
+
+
+def _registry_source(flags: str) -> str:
+    return (
+        "from repro.partitioning.edge_cut.hashing import "
+        "HashVertexPartitioner\n"
+        "from repro.partitioning.edge_cut.ldg import LdgPartitioner\n"
+        "\n"
+        "_FACTORIES = {\n"
+        "    'ecr': HashVertexPartitioner,\n"
+        "    'ldg': LdgPartitioner,\n"
+        "}\n"
+        "\n"
+        f"_ACCEPTS_SEED = {{\n{flags}}}\n"
+    )
+
+
+class TestRegistryContract:
+    def test_rl101_contradictory_flag(self, tmp_path):
+        """A fixture partitioner whose accepts_seed flag contradicts its
+        ``__init__`` signature is flagged (acceptance criterion)."""
+        files = dict(_REGISTRY_FIXTURE)
+        files["repro/partitioning/registry.py"] = _registry_source(
+            "    'ecr': True,\n"   # hash-based: __init__ has no seed
+            "    'ldg': True,\n"
+        )
+        findings = findings_for(tmp_path, files)
+        finding = single(findings, "RL101")
+        assert finding.path.endswith("repro/partitioning/registry.py")
+        assert "'ecr'" in finding.message
+        assert "does not take" in finding.message
+
+    def test_rl101_flag_contradiction_other_direction(self, tmp_path):
+        files = dict(_REGISTRY_FIXTURE)
+        files["repro/partitioning/registry.py"] = _registry_source(
+            "    'ecr': False,\n"
+            "    'ldg': False,\n"  # LDG's __init__ *does* take seed
+        )
+        finding = single(findings_for(tmp_path, files), "RL101")
+        assert "'ldg'" in finding.message and "takes" in finding.message
+
+    def test_rl101_inherited_init_resolves(self, tmp_path):
+        """Seed-taking ``__init__`` found through a base class (the
+        re-LDG/re-FENNEL shape)."""
+        files = {"repro/partitioning/base.py":
+                 _REGISTRY_FIXTURE["repro/partitioning/base.py"]}
+        files["repro/partitioning/edge_cut/restreaming.py"] = (
+            "from repro.partitioning.base import VertexPartitioner\n"
+            "\n"
+            "class _RestreamingBase(VertexPartitioner):\n"
+            "    def __init__(self, num_passes=5, seed=None):\n"
+            "        self.seed = seed\n"
+            "\n"
+            "class RestreamingLdgPartitioner(_RestreamingBase):\n"
+            "    pass\n"
+        )
+        files["repro/partitioning/registry.py"] = (
+            "from repro.partitioning.edge_cut.restreaming import "
+            "RestreamingLdgPartitioner\n"
+            "_FACTORIES = {'re-ldg': RestreamingLdgPartitioner}\n"
+            "_ACCEPTS_SEED = {'re-ldg': False}\n"
+        )
+        finding = single(findings_for(tmp_path, files), "RL101")
+        assert "'re-ldg'" in finding.message
+
+    def test_rl101_missing_flag(self, tmp_path):
+        files = dict(_REGISTRY_FIXTURE)
+        files["repro/partitioning/registry.py"] = _registry_source(
+            "    'ecr': False,\n"  # no 'ldg' entry at all
+        )
+        finding = single(findings_for(tmp_path, files), "RL101")
+        assert "no _ACCEPTS_SEED flag" in finding.message
+
+    def test_rl101_unregistered_partitioner(self, tmp_path):
+        files = dict(_REGISTRY_FIXTURE)
+        files["repro/partitioning/registry.py"] = _registry_source(
+            "    'ecr': False,\n"
+            "    'ldg': True,\n"
+        )
+        files["repro/partitioning/edge_cut/fancy.py"] = (
+            "from repro.partitioning.base import VertexPartitioner\n"
+            "\n"
+            "class FancyPartitioner(VertexPartitioner):\n"
+            "    def __init__(self, seed=None):\n"
+            "        self.seed = seed\n"
+        )
+        finding = single(findings_for(tmp_path, files), "RL101")
+        assert "FancyPartitioner" in finding.message
+        assert finding.path.endswith("fancy.py")
+
+    def test_rl101_consistent_registry_is_clean(self, tmp_path):
+        files = dict(_REGISTRY_FIXTURE)
+        files["repro/partitioning/registry.py"] = _registry_source(
+            "    'ecr': False,\n"
+            "    'ldg': True,\n"
+        )
+        assert findings_for(tmp_path, files) == []
+
+
+class TestOtherContracts:
+    def test_rl102_dangling_all_name(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/metrics/__init__.py":
+                "def replication_factor():\n"
+                "    pass\n"
+                "\n"
+                "__all__ = ['replication_factor', 'edge_cut_ratio']\n",
+        })
+        finding = single(findings, "RL102")
+        assert "'edge_cut_ratio'" in finding.message
+        assert finding.line == 4
+
+    def test_rl102_duplicate_entry(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/metrics/__init__.py":
+                "x = 1\n__all__ = ['x', 'x']\n",
+        })
+        assert "duplicate" in single(findings, "RL102").message
+
+    def test_rl103_experiment_without_plan_entry(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/experiments/__init__.py":
+                "def table3(ctx):\n    pass\n"
+                "def figure99(ctx):\n    pass\n"
+                "EXPERIMENTS = {'table3': table3, 'figure99': figure99}\n",
+            "repro/orchestrator/dag.py":
+                "def _req_table3(profile):\n    return ()\n"
+                "_REQUIREMENTS = {'table3': _req_table3}\n",
+        })
+        finding = single(findings, "RL103")
+        assert "'figure99'" in finding.message
+        assert finding.path.endswith("experiments/__init__.py")
+
+    def test_rl103_dangling_requirement(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/experiments/__init__.py":
+                "def table3(ctx):\n    pass\n"
+                "EXPERIMENTS = {'table3': table3}\n",
+            "repro/orchestrator/dag.py":
+                "def _req(profile):\n    return ()\n"
+                "_REQUIREMENTS = {'table3': _req, 'figure98': _req}\n",
+        })
+        finding = single(findings, "RL103")
+        assert "'figure98'" in finding.message
+        assert finding.path.endswith("orchestrator/dag.py")
+
+    def test_rl104_unknown_span_name(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/analytics/engine.py":
+                "def run(tracer):\n"
+                "    sid = tracer.begin('gas.superstep', 0.0)\n"
+                "    tracer.end(sid, 1.0)\n",
+            "repro/tools/trace_cli.py":
+                "DEFAULT_FILTER = 'gas.compute'\n",
+        })
+        finding = single(findings, "RL104")
+        assert "'gas.compute'" in finding.message
+        assert finding.path.endswith("tools/trace_cli.py")
+
+    def test_rl104_known_span_name_is_clean(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/analytics/engine.py":
+                "def run(tracer):\n"
+                "    sid = tracer.begin('gas.superstep', 0.0)\n"
+                "    tracer.end(sid, 1.0)\n",
+            "repro/tools/trace_cli.py":
+                "DEFAULT_FILTER = 'gas.superstep'\n"
+                "OUTPUT = 'trace.jsonl'\n",  # filename, not a span name
+        })
+        assert findings == []
+
+    def test_rl105_import_missing_from_all(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/__init__.py":
+                "from repro.errors import ReproError, ConfigurationError\n"
+                "\n"
+                "__all__ = ['ReproError']\n",
+            "repro/errors.py":
+                "class ReproError(Exception):\n    pass\n"
+                "class ConfigurationError(ReproError):\n    pass\n",
+        })
+        finding = single(findings, "RL105")
+        assert "'ConfigurationError'" in finding.message
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        write_tree(tmp_path, {"repro/graph/ok.py": "x = 1\n"})
+        assert lint_main([str(tmp_path)]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().err
+
+    def test_findings_exit_nonzero_with_location(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "repro/database/bad.py":
+                "import numpy as np\n"
+                "rng = np.random.default_rng(7)\n",
+        })
+        assert lint_main([str(tmp_path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RL001" in out
+        assert "repro/database/bad.py:2:" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        write_tree(tmp_path, {
+            "repro/database/bad.py": "import random\n",
+        })
+        assert lint_main([str(tmp_path), "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["code"] == "RL002"
+        assert payload["findings"][0]["line"] == 1
+        assert "RL101" in payload["rules"]
+
+    def test_unknown_rule_code_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "RL999"]) == EXIT_USAGE
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL006", "RL101", "RL105"):
+            assert code in out
+
+    def test_python_m_repro_lint_dispatch(self, tmp_path, capsys):
+        from repro.experiments.cli import main as repro_main
+
+        write_tree(tmp_path, {
+            "repro/database/bad.py": "import random\n",
+        })
+        assert repro_main(["lint", str(tmp_path)]) == EXIT_FINDINGS
+        assert repro_main(["lint", str(tmp_path), "--ignore",
+                           "RL002"]) == EXIT_CLEAN
+
+
+@pytest.mark.parametrize("code", [r.code for r in all_rules()])
+def test_every_rule_has_a_firing_fixture(code):
+    """Meta-test: the suites above cover every registered rule code."""
+    source = Path(__file__).read_text()
+    assert f'"{code}"' in source or f"'{code}'" in source

@@ -1,0 +1,166 @@
+"""Tests for the ratcheted mypy gate (`repro.tools.typing_gate`).
+
+mypy itself is a CI-only dependency, so these tests exercise the gate's
+own logic — output parsing, baseline matching, ratchet semantics — on
+canned mypy output, plus the CLI's graceful exit when mypy is absent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools import typing_gate
+from repro.tools.typing_gate import (
+    compare,
+    load_baseline,
+    parse_error_counts,
+    render_baseline,
+    tighten,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_MYPY_OUTPUT = """\
+src/repro/graph/digraph.py:42: error: Incompatible return value type  [return-value]
+src/repro/graph/digraph.py:60:5: error: Missing type annotation  [no-untyped-def]
+src/repro/experiments/figures.py:10: error: Need type annotation  [var-annotated]
+src/repro/experiments/figures.py:11: note: this is only a note
+Found 3 errors in 2 files (checked 90 source files)
+"""
+
+
+class TestParsing:
+    def test_parse_error_counts(self):
+        counts = parse_error_counts(_MYPY_OUTPUT)
+        assert counts == {"src/repro/graph/digraph.py": 2,
+                          "src/repro/experiments/figures.py": 1}
+
+    def test_notes_and_summary_ignored(self):
+        assert parse_error_counts("x.py:1: note: hi\nFound 0 errors\n") == {}
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        entries = [(0, "src/repro/rng.py"), ("*", "src/repro/**")]
+        path = tmp_path / "baseline.txt"
+        path.write_text(render_baseline(entries))
+        assert load_baseline(path) == entries
+
+    def test_repo_baseline_parses_and_pins_strict_core(self):
+        entries = load_baseline(REPO_ROOT / "mypy-baseline.txt")
+        strict = {pattern for allowance, pattern in entries if allowance == 0}
+        assert strict == {
+            "src/repro/rng.py",
+            "src/repro/graph/digraph.py",
+            "src/repro/partitioning/base.py",
+            "src/repro/orchestrator/cache.py",
+        }
+        # Everything else is covered by an (unratcheted) pattern.
+        covered = [p for a, p in entries if a == "*"]
+        assert "src/repro/**" in covered
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        path.write_text("justonetoken\n")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestCompare:
+    entries = [
+        (0, "src/repro/rng.py"),
+        (3, "src/repro/graph/*.py"),
+        ("*", "src/repro/**"),
+    ]
+
+    def test_strict_file_regression(self):
+        regressions, _ = compare(self.entries, {"src/repro/rng.py": 1})
+        assert len(regressions) == 1
+        path, count, allowance, _ = regressions[0]
+        assert (path, count, allowance) == ("src/repro/rng.py", 1, 0)
+
+    def test_within_allowance_passes(self):
+        regressions, improvements = compare(
+            self.entries, {"src/repro/graph/io.py": 3})
+        assert regressions == []
+        assert improvements == []
+
+    def test_over_allowance_fails(self):
+        regressions, _ = compare(self.entries, {"src/repro/graph/io.py": 4})
+        assert len(regressions) == 1
+
+    def test_unratcheted_pattern_allows_anything(self):
+        regressions, _ = compare(
+            self.entries, {"src/repro/experiments/figures.py": 99})
+        assert regressions == []
+
+    def test_uncovered_file_is_a_regression(self):
+        regressions, _ = compare(self.entries, {"setup.py": 1})
+        assert regressions == [("setup.py", 1, 0,
+                                "no baseline pattern covers this file")]
+
+    def test_first_match_wins(self):
+        # rng.py also matches src/repro/** but the 0-allowance wins.
+        regressions, _ = compare(self.entries, {"src/repro/rng.py": 5})
+        assert regressions[0][2] == 0
+
+    def test_improvement_reported(self):
+        _, improvements = compare(self.entries,
+                                  {"src/repro/graph/io.py": 1})
+        assert improvements == [("src/repro/graph/*.py", 1, 3)]
+
+
+class TestRatchet:
+    def test_tighten_lowers_numeric_only(self):
+        entries = [(5, "src/repro/graph/*.py"), ("*", "src/repro/**")]
+        updated = tighten(entries, {"src/repro/graph/io.py": 2})
+        assert updated == [(2, "src/repro/graph/*.py"), ("*", "src/repro/**")]
+
+    def test_tighten_never_raises_allowance(self):
+        entries = [(1, "src/repro/graph/*.py")]
+        assert tighten(entries, {"src/repro/graph/io.py": 9}) == entries
+
+
+class TestCli:
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        code = typing_gate.main(["--baseline", str(tmp_path / "nope.txt")])
+        assert code == typing_gate.EXIT_USAGE
+
+    def test_without_mypy_exits_gracefully(self, tmp_path, capsys,
+                                           monkeypatch):
+        (tmp_path / "baseline.txt").write_text("0\tsrc/repro/rng.py\n")
+        monkeypatch.setattr(typing_gate, "run_mypy", lambda paths: (None, ""))
+        code = typing_gate.main(["--baseline",
+                                 str(tmp_path / "baseline.txt")])
+        assert code == typing_gate.EXIT_NO_MYPY
+        assert "not installed" in capsys.readouterr().err
+
+    def test_gate_passes_on_clean_output(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "baseline.txt").write_text("0\tsrc/repro/rng.py\n")
+        monkeypatch.setattr(typing_gate, "run_mypy", lambda paths: (0, ""))
+        code = typing_gate.main(["--baseline",
+                                 str(tmp_path / "baseline.txt")])
+        assert code == typing_gate.EXIT_OK
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "baseline.txt").write_text("0\tsrc/repro/rng.py\n"
+                                               "*\tsrc/repro/**\n")
+        output = "src/repro/rng.py:1: error: boom  [misc]\n"
+        monkeypatch.setattr(typing_gate, "run_mypy",
+                            lambda paths: (1, output))
+        code = typing_gate.main(["--baseline",
+                                 str(tmp_path / "baseline.txt")])
+        assert code == typing_gate.EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_update_tightens_baseline(self, tmp_path, monkeypatch):
+        baseline = tmp_path / "baseline.txt"
+        baseline.write_text("4\tsrc/repro/graph/*.py\n*\tsrc/repro/**\n")
+        output = "src/repro/graph/io.py:1: error: boom  [misc]\n"
+        monkeypatch.setattr(typing_gate, "run_mypy",
+                            lambda paths: (1, output))
+        code = typing_gate.main(["--baseline", str(baseline), "--update"])
+        assert code == typing_gate.EXIT_OK
+        assert load_baseline(baseline) == [(1, "src/repro/graph/*.py"),
+                                           ("*", "src/repro/**")]
