@@ -178,6 +178,18 @@ class Graph:
         indptr, indices, _ = self._ensure_und_csr()
         return indices[indptr[u]:indptr[u + 1]]
 
+    def undirected_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, indices)`` of the undirected neighbourhood CSR.
+
+        ``indices[indptr[u]:indptr[u + 1]]`` is exactly
+        :meth:`neighbors` of ``u``; exposing the arrays lets streaming
+        hot loops (:mod:`repro.partitioning.kernels`) slice adjacency
+        without per-vertex method dispatch.  Callers must treat both
+        arrays as read-only.
+        """
+        indptr, indices, _ = self._ensure_und_csr()
+        return indptr, indices
+
     def out_edge_ids(self, u: int) -> np.ndarray:
         """Edge ids of ``u``'s out-edges."""
         indptr, _, order = self._ensure_out_csr()

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.errors import PartitioningError
 from repro.graph.digraph import Graph
-from repro.partitioning.base import EdgePartition, VertexPartition
+from repro.partitioning.base import UNASSIGNED, EdgePartition, VertexPartition
 
 
 def _require_cover(graph: Graph, partition) -> None:
@@ -42,31 +42,53 @@ def edge_cut_ratio(graph: Graph, partition: VertexPartition) -> float:
     return float(cut.mean())
 
 
-def vertex_replica_counts(graph: Graph, partition: EdgePartition) -> np.ndarray:
+def vertex_replica_counts(graph: Graph, partition: EdgePartition, *,
+                          allow_partial: bool = False) -> np.ndarray:
     """|A(v)| per vertex: how many partitions hold an edge incident to v.
 
-    Vertices with no incident edges have count 0.
+    Vertices with no incident edges have count 0.  A partition containing
+    ``UNASSIGNED`` edges is rejected unless ``allow_partial=True``, which
+    counts replicas over the assigned edges only — the sentinel must never
+    reach the pairing arithmetic below, where ``v*k - 1`` aliases into the
+    previous vertex's bucket.
     """
     _require_cover(graph, partition)
     n = graph.num_vertices
     k = partition.num_partitions
-    vertex_ids = np.concatenate([graph.src, graph.dst])
-    partitions = np.concatenate([partition.assignment, partition.assignment])
+    assignment = partition.assignment
+    src, dst = graph.src, graph.dst
+    unassigned = assignment == UNASSIGNED
+    if unassigned.any():
+        if not allow_partial:
+            raise PartitioningError(
+                f"{int(unassigned.sum())} of {partition.num_edges} edges are "
+                "unassigned; pass allow_partial=True to score only the "
+                "assigned edges"
+            )
+        keep = ~unassigned
+        assignment = assignment[keep]
+        src = src[keep]
+        dst = dst[keep]
+    vertex_ids = np.concatenate([src, dst])
+    partitions = np.concatenate([assignment, assignment])
     pairs = vertex_ids.astype(np.int64) * k + partitions
     unique_pairs = np.unique(pairs)
     return np.bincount((unique_pairs // k).astype(np.int64), minlength=n)
 
 
 def replication_factor(graph: Graph, partition: EdgePartition, *,
-                       include_isolated: bool = False) -> float:
+                       include_isolated: bool = False,
+                       allow_partial: bool = False) -> float:
     """Average |A(v)| over vertices (Eq. 6).
 
     ``include_isolated=False`` (default) averages over vertices with at
     least one incident edge — matching how PowerGraph-family systems
     report the metric (a vertex that owns no edges has no replicas at
     all); ``True`` divides by |V| exactly as written in Eq. 6.
+    ``allow_partial`` forwards to :func:`vertex_replica_counts`.
     """
-    counts = vertex_replica_counts(graph, partition)
+    counts = vertex_replica_counts(graph, partition,
+                                   allow_partial=allow_partial)
     if include_isolated:
         return float(counts.mean()) if counts.size else 0.0
     active = counts[counts > 0]
@@ -88,8 +110,9 @@ def partition_balance(graph: Graph, partition) -> float:
     return load_imbalance(partition.sizes())
 
 
-def communication_cost(graph: Graph, partition) -> float:
+def communication_cost(graph: Graph, partition, *,
+                       allow_partial: bool = False) -> float:
     """The paper's C(P): edge-cut ratio or replication factor by model."""
     if isinstance(partition, VertexPartition):
         return edge_cut_ratio(graph, partition)
-    return replication_factor(graph, partition)
+    return replication_factor(graph, partition, allow_partial=allow_partial)

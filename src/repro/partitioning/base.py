@@ -37,6 +37,19 @@ def check_num_partitions(k: Any) -> int:
     return int(k)
 
 
+def _checked_assignment(values: Any, num_partitions: int,
+                        what: str) -> np.ndarray:
+    """Contiguous int32 copy of *values* with every entry in
+    ``[0, num_partitions)`` or ``UNASSIGNED``."""
+    array = np.ascontiguousarray(values, dtype=np.int32)
+    if array.ndim != 1:
+        raise PartitioningError(f"{what} must be a 1-D array")
+    valid = array[array != UNASSIGNED]
+    if valid.size and (valid.min() < 0 or valid.max() >= num_partitions):
+        raise PartitioningError(f"{what} contains out-of-range partition ids")
+    return array
+
+
 class VertexPartition:
     """A vertex-disjoint partitioning (edge-cut model, Section 4.1).
 
@@ -49,12 +62,8 @@ class VertexPartition:
     def __init__(self, num_partitions: int, assignment: Any,
                  algorithm: str = "?") -> None:
         self.num_partitions = check_num_partitions(num_partitions)
-        self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
-        if self.assignment.ndim != 1:
-            raise PartitioningError("assignment must be a 1-D array")
-        valid = self.assignment[self.assignment != UNASSIGNED]
-        if valid.size and (valid.min() < 0 or valid.max() >= self.num_partitions):
-            raise PartitioningError("assignment contains out-of-range partition ids")
+        self.assignment = _checked_assignment(assignment, self.num_partitions,
+                                              "assignment")
         self.algorithm = algorithm
 
     @property
@@ -97,14 +106,11 @@ class EdgePartition:
     def __init__(self, num_partitions: int, assignment: Any,
                  algorithm: str = "?", masters: Any = None) -> None:
         self.num_partitions = check_num_partitions(num_partitions)
-        self.assignment = np.ascontiguousarray(assignment, dtype=np.int32)
-        if self.assignment.ndim != 1:
-            raise PartitioningError("assignment must be a 1-D array")
-        valid = self.assignment[self.assignment != UNASSIGNED]
-        if valid.size and (valid.min() < 0 or valid.max() >= self.num_partitions):
-            raise PartitioningError("assignment contains out-of-range partition ids")
+        self.assignment = _checked_assignment(assignment, self.num_partitions,
+                                              "assignment")
         self.algorithm = algorithm
-        self.masters = (np.ascontiguousarray(masters, dtype=np.int32)
+        self.masters = (_checked_assignment(masters, self.num_partitions,
+                                            "masters")
                         if masters is not None else None)
 
     @property

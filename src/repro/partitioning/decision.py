@@ -24,6 +24,7 @@ from repro.graph.digraph import Graph
 
 WORKLOAD_KINDS = ("analytics", "online")
 OBJECTIVES = ("throughput", "latency")
+LOAD_LEVELS = ("medium", "high")
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,10 @@ def recommend(
     """
     if workload not in WORKLOAD_KINDS:
         raise ConfigurationError(f"workload must be one of {WORKLOAD_KINDS}")
+    if load not in LOAD_LEVELS:
+        raise ConfigurationError(f"load must be one of {LOAD_LEVELS}")
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(f"objective must be one of {OBJECTIVES}")
 
     if workload == "online":
         path = ["workload=online"]

@@ -17,11 +17,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.partitioning.base import (
-    UNASSIGNED,
     VertexPartition,
     VertexPartitioner,
-    argmax_with_ties,
     check_num_partitions,
+)
+from repro.partitioning.kernels import (
+    FennelKernel,
+    argmax_tie_least_loaded,
+    iter_vertex_arrivals,
 )
 from repro.rng import make_rng
 from repro.telemetry import get_tracer
@@ -79,22 +82,15 @@ class FennelPartitioner(VertexPartitioner):
             num_edges = graph.num_edges if graph is not None else None
         alpha = self._resolve_alpha(k, num_vertices, num_edges)
         capacity = max(1.0, self.load_cap * num_vertices / k)
-        assignment = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-        sizes = np.zeros(k, dtype=np.int64)
+        kernel = FennelKernel(k, num_vertices, alpha, self.gamma, capacity)
+        sizes = kernel.sizes
         tracer = get_tracer()
         trace_every = tracer.decision_sample_every if tracer.enabled else 0
         decision = 0
 
-        for vertex, neighbors in stream:
-            placed = assignment[neighbors]
-            placed = placed[placed != UNASSIGNED]
-            if placed.size:
-                counts = np.bincount(placed, minlength=k).astype(np.float64)
-            else:
-                counts = np.zeros(k, dtype=np.float64)
-            scores = counts - alpha * self.gamma * sizes ** (self.gamma - 1.0)
-            scores[sizes >= capacity] = -np.inf
-            target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+        for vertex, neighbors in iter_vertex_arrivals(stream):
+            scores = kernel.score(neighbors)
+            target = argmax_tie_least_loaded(scores, sizes, rng)
             if trace_every:
                 if decision % trace_every == 0:
                     tracer.point(
@@ -108,6 +104,6 @@ class FennelPartitioner(VertexPartitioner):
                                 for s in scores],
                         state_size=int(sizes.sum()))
                 decision += 1
-            assignment[vertex] = target
-            sizes[target] += 1
-        return VertexPartition(k, assignment, algorithm=self.name)
+            kernel.place(vertex, target)
+        return VertexPartition(k, kernel.export_assignment(),
+                               algorithm=self.name)

@@ -19,11 +19,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.partitioning.base import (
-    UNASSIGNED,
     VertexPartition,
     VertexPartitioner,
-    argmax_with_ties,
     check_num_partitions,
+)
+from repro.partitioning.kernels import (
+    LdgKernel,
+    argmax_tie_least_loaded,
+    iter_vertex_arrivals,
 )
 from repro.rng import make_rng
 from repro.telemetry import get_tracer
@@ -54,23 +57,17 @@ class LdgPartitioner(VertexPartitioner):
         k = check_num_partitions(num_partitions)
         rng = make_rng(self.seed)
         capacity = max(1.0, math.ceil(self.balance_slack * num_vertices / k))
-        assignment = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-        sizes = np.zeros(k, dtype=np.int64)
+        kernel = LdgKernel(k, num_vertices, capacity)
+        sizes = kernel.sizes
         # Decision tracing: one `if 0:` branch per vertex when disabled —
         # no tracer calls, no allocations (the overhead tests assert it).
         tracer = get_tracer()
         trace_every = tracer.decision_sample_every if tracer.enabled else 0
         decision = 0
 
-        for vertex, neighbors in stream:
-            placed = assignment[neighbors]
-            placed = placed[placed != UNASSIGNED]
-            if placed.size:
-                counts = np.bincount(placed, minlength=k)
-            else:
-                counts = np.zeros(k, dtype=np.int64)
-            scores = counts * (1.0 - sizes / capacity)
-            target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+        for vertex, neighbors in iter_vertex_arrivals(stream):
+            scores = kernel.score(neighbors)
+            target = argmax_tie_least_loaded(scores, sizes, rng)
             if trace_every:
                 if decision % trace_every == 0:
                     tracer.point(
@@ -81,6 +78,6 @@ class LdgPartitioner(VertexPartitioner):
                         scores=[float(s) for s in scores],
                         state_size=int(sizes.sum()))
                 decision += 1
-            assignment[vertex] = target
-            sizes[target] += 1
-        return VertexPartition(k, assignment, algorithm=self.name)
+            kernel.place(vertex, target)
+        return VertexPartition(k, kernel.export_assignment(),
+                               algorithm=self.name)

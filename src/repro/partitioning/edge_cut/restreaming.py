@@ -8,6 +8,10 @@ are the current pass's (partitions refill from empty each pass).  A handful
 of passes closes most of the quality gap to offline multilevel
 partitioning, which Table 1 of the paper records as these algorithms'
 distinguishing feature.
+
+Both variants share one multi-pass driver over the fused scoring kernels
+of :mod:`repro.partitioning.kernels`; since restreaming multiplies the
+per-element cost by the pass count, the kernel speedup compounds here.
 """
 
 from __future__ import annotations
@@ -18,18 +22,22 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.partitioning.base import (
-    UNASSIGNED,
     VertexPartition,
     VertexPartitioner,
-    argmax_with_ties,
     check_num_partitions,
 )
 from repro.partitioning.edge_cut.fennel import FennelPartitioner
+from repro.partitioning.kernels import (
+    FennelKernel,
+    LdgKernel,
+    argmax_tie_least_loaded,
+    iter_vertex_arrivals,
+)
 from repro.rng import make_rng
 
 
 class _RestreamingBase(VertexPartitioner):
-    """Shared multi-pass driver; subclasses provide the per-vertex score."""
+    """Shared multi-pass driver; subclasses provide the scoring kernel."""
 
     def __init__(self, num_passes: int = 5, seed=None):
         if num_passes < 1:
@@ -37,11 +45,12 @@ class _RestreamingBase(VertexPartitioner):
         self.num_passes = num_passes
         self.seed = seed
 
-    def _score(self, counts: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    def _make_kernel(self, k: int, num_vertices: int,
+                     num_edges: int | None):
         raise NotImplementedError
 
-    def _prepare(self, k: int, num_vertices: int, num_edges: int | None):
-        """Hook for per-run parameter derivation (capacity, alpha...)."""
+    def _begin_pass(self, kernel, pass_index: int) -> None:
+        kernel.begin_pass()
 
     def partition_stream(self, stream, num_partitions: int, *,
                          num_vertices: int,
@@ -51,29 +60,21 @@ class _RestreamingBase(VertexPartitioner):
         if num_edges is None:
             graph = getattr(stream, "graph", None)
             num_edges = graph.num_edges if graph is not None else None
-        self._prepare(k, num_vertices, num_edges)
+        kernel = self._make_kernel(k, num_vertices, num_edges)
+        sizes = kernel.sizes
 
-        previous = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-        current = previous
-        for _pass in range(self.num_passes):
-            current = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-            sizes = np.zeros(k, dtype=np.int64)
-            for vertex, neighbors in stream:
-                fresh = current[neighbors]
-                stale = previous[neighbors]
-                # Neighbours keep last known placement until restreamed.
-                view = np.where(fresh != UNASSIGNED, fresh, stale)
-                view = view[view != UNASSIGNED]
-                if view.size:
-                    counts = np.bincount(view, minlength=k).astype(np.float64)
-                else:
-                    counts = np.zeros(k, dtype=np.float64)
-                scores = self._score(counts, sizes)
-                target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
-                current[vertex] = target
-                sizes[target] += 1
-            previous = current
-        return VertexPartition(k, current, algorithm=self.name)
+        # Slot-encoded placements of the previous pass (k = unplaced).
+        previous = np.full(num_vertices, k, dtype=np.int64)
+        for pass_index in range(self.num_passes):
+            self._begin_pass(kernel, pass_index)
+            for vertex, neighbors in iter_vertex_arrivals(stream):
+                counts = kernel.mixed_counts(neighbors, previous)
+                scores = kernel.score_counts(counts)
+                target = argmax_tie_least_loaded(scores, sizes, rng)
+                kernel.place(vertex, target)
+            previous = kernel.slots.copy()
+        return VertexPartition(k, kernel.export_assignment(),
+                               algorithm=self.name)
 
 
 class RestreamingLdgPartitioner(_RestreamingBase):
@@ -91,13 +92,10 @@ class RestreamingLdgPartitioner(_RestreamingBase):
         if balance_slack < 1.0:
             raise ConfigurationError("balance_slack (beta) must be >= 1")
         self.balance_slack = balance_slack
-        self._capacity = 1.0
 
-    def _prepare(self, k, num_vertices, num_edges):
-        self._capacity = max(1.0, math.ceil(self.balance_slack * num_vertices / k))
-
-    def _score(self, counts, sizes):
-        return counts * (1.0 - sizes / self._capacity)
+    def _make_kernel(self, k, num_vertices, num_edges):
+        capacity = max(1.0, math.ceil(self.balance_slack * num_vertices / k))
+        return LdgKernel(k, num_vertices, capacity)
 
 
 class RestreamingFennelPartitioner(_RestreamingBase):
@@ -118,49 +116,13 @@ class RestreamingFennelPartitioner(_RestreamingBase):
                                            load_cap=load_cap)
         self.alpha_growth = alpha_growth
         self._alpha = 0.0
-        self._capacity = 1.0
         self._gamma = gamma
 
-    def _prepare(self, k, num_vertices, num_edges):
+    def _make_kernel(self, k, num_vertices, num_edges):
         self._alpha = self._template._resolve_alpha(k, num_vertices, num_edges)
-        self._capacity = max(1.0, self._template.load_cap * num_vertices / k)
-        self._pass_alpha = self._alpha
+        capacity = max(1.0, self._template.load_cap * num_vertices / k)
+        return FennelKernel(k, num_vertices, self._alpha, self._gamma,
+                            capacity)
 
-    def _score(self, counts, sizes):
-        scores = counts - self._pass_alpha * self._gamma * sizes ** (self._gamma - 1.0)
-        scores[sizes >= self._capacity] = -np.inf
-        return scores
-
-    def partition_stream(self, stream, num_partitions: int, *,
-                         num_vertices: int, num_edges: int | None = None):
-        # Wrap the base driver to anneal alpha between passes: we re-enter
-        # the parent implementation but intercept pass boundaries by
-        # running passes one at a time.
-        k = check_num_partitions(num_partitions)
-        rng = make_rng(self.seed)
-        if num_edges is None:
-            graph = getattr(stream, "graph", None)
-            num_edges = graph.num_edges if graph is not None else None
-        self._prepare(k, num_vertices, num_edges)
-
-        previous = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-        current = previous
-        for pass_index in range(self.num_passes):
-            self._pass_alpha = self._alpha * (self.alpha_growth ** pass_index)
-            current = np.full(num_vertices, UNASSIGNED, dtype=np.int32)
-            sizes = np.zeros(k, dtype=np.int64)
-            for vertex, neighbors in stream:
-                fresh = current[neighbors]
-                stale = previous[neighbors]
-                view = np.where(fresh != UNASSIGNED, fresh, stale)
-                view = view[view != UNASSIGNED]
-                if view.size:
-                    counts = np.bincount(view, minlength=k).astype(np.float64)
-                else:
-                    counts = np.zeros(k, dtype=np.float64)
-                scores = self._score(counts, sizes)
-                target = argmax_with_ties(scores, tie_break=sizes, rng=rng)
-                current[vertex] = target
-                sizes[target] += 1
-            previous = current
-        return VertexPartition(k, current, algorithm=self.name)
+    def _begin_pass(self, kernel, pass_index):
+        kernel.begin_pass(self._alpha * (self.alpha_growth ** pass_index))

@@ -22,8 +22,8 @@ from repro.partitioning.base import (
     EdgePartitioner,
     check_num_partitions,
     edge_stream_arrays,
-    iter_edge_arrivals,
 )
+from repro.partitioning.kernels import streaming_partial_degrees
 from repro.rng import SeededHash
 
 
@@ -57,10 +57,11 @@ class DbhPartitioner(EdgePartitioner):
             lower = np.where(degree[src] < degree[dst], src, dst)
             assignment[edge_ids] = hasher(lower)
         else:
-            partial = np.zeros(num_vertices, dtype=np.int64)
-            for edge_id, src, dst in iter_edge_arrivals(stream):
-                partial[src] += 1
-                partial[dst] += 1
-                lower = src if partial[src] < partial[dst] else dst
-                assignment[edge_id] = hasher(lower)
+            # The partial-degree rule reads only the counters the scalar
+            # loop would hold at each arrival — which the kernel layer
+            # derives vectorized, so partial mode bulk-evaluates too.
+            edge_ids, src, dst = edge_stream_arrays(stream)
+            d_u, d_v = streaming_partial_degrees(src, dst)
+            lower = np.where(d_u < d_v, src, dst)
+            assignment[edge_ids] = hasher(lower)
         return EdgePartition(k, assignment, algorithm=self.name)

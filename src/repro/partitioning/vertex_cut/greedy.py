@@ -24,9 +24,13 @@ import numpy as np
 from repro.partitioning.base import (
     EdgePartition,
     EdgePartitioner,
-    argmin_with_ties,
     check_num_partitions,
-    iter_edge_arrivals,
+    edge_stream_arrays,
+)
+from repro.partitioning.kernels import (
+    argmin_with_ties_inline,
+    streaming_partial_degrees,
+    zip_chunked,
 )
 from repro.rng import make_rng
 
@@ -46,14 +50,19 @@ class GreedyVertexCutPartitioner(EdgePartitioner):
         assignment = np.full(num_edges, -1, dtype=np.int32)
         sizes = np.zeros(k, dtype=np.int64)
         replicas = np.zeros((num_vertices, k), dtype=bool)
-        partial_degree = np.zeros(num_vertices, dtype=np.int64)
 
-        for edge_id, src, dst in iter_edge_arrivals(stream):
-            partial_degree[src] += 1
-            partial_degree[dst] += 1
+        # Rule 2's degree comparison reads the partial-degree counters a
+        # scalar loop would hold; the kernel layer derives them for the
+        # whole stream vectorized, so the loop carries no counters.
+        edge_ids, src_arr, dst_arr = edge_stream_arrays(stream)
+        d_u, d_v = streaming_partial_degrees(src_arr, dst_arr)
+        common = np.empty(k, dtype=bool)
+        everyone = np.arange(k)
+        for edge_id, src, dst, du, dv in zip_chunked(edge_ids, src_arr,
+                                                     dst_arr, d_u, d_v):
             mask_u = replicas[src]
             mask_v = replicas[dst]
-            common = mask_u & mask_v
+            np.logical_and(mask_u, mask_v, out=common)
             if common.any():
                 candidates = np.flatnonzero(common)
             elif mask_u.any() and mask_v.any():
@@ -62,15 +71,15 @@ class GreedyVertexCutPartitioner(EdgePartitioner):
                 # heuristic keeps the endpoint with more remaining edges
                 # intact, so we choose among the replicas of the endpoint
                 # with the larger partial degree.
-                chosen = mask_u if partial_degree[src] >= partial_degree[dst] else mask_v
+                chosen = mask_u if du >= dv else mask_v
                 candidates = np.flatnonzero(chosen)
             elif mask_u.any():
                 candidates = np.flatnonzero(mask_u)
             elif mask_v.any():
                 candidates = np.flatnonzero(mask_v)
             else:
-                candidates = np.arange(k)
-            choice = candidates[argmin_with_ties(sizes[candidates], rng=rng)]
+                candidates = everyone
+            choice = candidates[argmin_with_ties_inline(sizes[candidates], rng)]
             assignment[edge_id] = choice
             sizes[choice] += 1
             replicas[src, choice] = True

@@ -22,9 +22,11 @@ import numpy as np
 from repro.partitioning.base import (
     EdgePartition,
     EdgePartitioner,
-    argmin_with_ties,
     check_num_partitions,
-    edge_stream_arrays,
+)
+from repro.partitioning.kernels import (
+    argmin_with_ties_inline,
+    iter_edge_chunks,
 )
 from repro.rng import SeededHash, make_rng
 
@@ -75,16 +77,18 @@ class GridPartitioner(EdgePartitioner):
         assignment = np.full(num_edges, -1, dtype=np.int32)
         sizes = np.zeros(k, dtype=np.int64)
 
-        # Bulk-hash the anchors (stateless); the load-aware choice stays
-        # sequential because it reads the evolving sizes.
-        edge_ids, src_arr, dst_arr = edge_stream_arrays(stream)
-        anchors_u = hasher(src_arr)
-        anchors_v = hasher(dst_arr)
-        for edge_id, anchor_u, anchor_v in zip(edge_ids.tolist(),
-                                               anchors_u.tolist(),
-                                               anchors_v.tolist()):
-            candidates = candidate_table[anchor_u][anchor_v]
-            choice = candidates[argmin_with_ties(sizes[candidates], rng=rng)]
-            assignment[edge_id] = choice
-            sizes[choice] += 1
+        # Bulk-hash the anchors one chunk at a time (the hash is
+        # stateless); the load-aware choice stays sequential because it
+        # reads the evolving sizes.
+        for ids_chunk, src_chunk, dst_chunk in iter_edge_chunks(stream):
+            anchors_u = hasher(src_chunk)
+            anchors_v = hasher(dst_chunk)
+            for edge_id, anchor_u, anchor_v in zip(ids_chunk.tolist(),
+                                                   anchors_u.tolist(),
+                                                   anchors_v.tolist()):
+                candidates = candidate_table[anchor_u][anchor_v]
+                choice = candidates[argmin_with_ties_inline(sizes[candidates],
+                                                            rng)]
+                assignment[edge_id] = choice
+                sizes[choice] += 1
         return EdgePartition(k, assignment, algorithm=self.name)

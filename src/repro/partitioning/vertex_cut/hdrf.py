@@ -22,9 +22,13 @@ from repro.errors import ConfigurationError
 from repro.partitioning.base import (
     EdgePartition,
     EdgePartitioner,
-    argmax_with_ties,
     check_num_partitions,
-    iter_edge_arrivals,
+    edge_stream_arrays,
+)
+from repro.partitioning.kernels import (
+    argmax_tie_least_loaded,
+    streaming_partial_degrees,
+    zip_chunked,
 )
 from repro.rng import make_rng
 from repro.telemetry import get_tracer
@@ -66,25 +70,30 @@ class HdrfPartitioner(EdgePartitioner):
         assignment = np.full(num_edges, -1, dtype=np.int32)
         sizes = np.zeros(k, dtype=np.int64)
         replicas = np.zeros((num_vertices, k), dtype=bool)
-        partial_degree = np.zeros(num_vertices, dtype=np.int64)
+
+        # θ only depends on the partial-degree counters, which the kernel
+        # layer derives for the whole stream in one vectorized pass.
+        edge_ids, src_arr, dst_arr = edge_stream_arrays(stream)
+        d_u, d_v = streaming_partial_degrees(src_arr, dst_arr)
+        thetas = d_u / (d_u + d_v)
 
         # The balance term only changes for the partition that last gained
         # an edge, so we maintain it incrementally.
         balance = np.full(k, self.balance_weight, dtype=np.float64)
         balance_step = self.balance_weight / capacity
+        scores = np.empty(k, dtype=np.float64)
+        g_other = np.empty(k, dtype=np.float64)
         tracer = get_tracer()
         trace_every = tracer.decision_sample_every if tracer.enabled else 0
         decision = 0
-        for edge_id, src, dst in iter_edge_arrivals(stream):
-            partial_degree[src] += 1
-            partial_degree[dst] += 1
-            d_u = partial_degree[src]
-            d_v = partial_degree[dst]
-            theta_u = d_u / (d_u + d_v)
-            g_u = (2.0 - theta_u) * replicas[src]       # 1 + (1 - θ(u))
-            g_v = (1.0 + theta_u) * replicas[dst]       # 1 + (1 - θ(v))
-            scores = g_u + g_v + balance
-            choice = argmax_with_ties(scores, tie_break=sizes, rng=rng)
+        for edge_id, src, dst, theta_u in zip_chunked(edge_ids, src_arr,
+                                                      dst_arr, thetas):
+            # Fused g(u,·) + g(v,·) + balance into preallocated buffers.
+            np.multiply(replicas[src], 2.0 - theta_u, out=scores)
+            np.multiply(replicas[dst], 1.0 + theta_u, out=g_other)
+            scores += g_other                           # 1 + (1 - θ(·))
+            scores += balance
+            choice = argmax_tie_least_loaded(scores, sizes, rng)
             if trace_every:
                 if decision % trace_every == 0:
                     tracer.point(

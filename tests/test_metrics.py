@@ -19,7 +19,7 @@ from repro.metrics import (
     summarize,
     vertex_replica_counts,
 )
-from repro.partitioning.base import EdgePartition, VertexPartition
+from repro.partitioning.base import UNASSIGNED, EdgePartition, VertexPartition
 
 
 class TestEdgeCutRatio:
@@ -77,6 +77,23 @@ class TestReplicationFactor:
         with pytest.raises(PartitioningError):
             replication_factor(tiny_graph, EdgePartition(2, [0]))
 
+    def test_unassigned_edges_rejected(self):
+        """Regression: UNASSIGNED used to alias into vertex v-1's bucket
+        (a 3-vertex graph with one unassigned edge scored vertex 0 at 2)."""
+        g = Graph(3, np.array([0, 0]), np.array([1, 2]))
+        p = EdgePartition(2, [0, UNASSIGNED])
+        with pytest.raises(PartitioningError, match="unassigned"):
+            vertex_replica_counts(g, p)
+        with pytest.raises(PartitioningError, match="unassigned"):
+            replication_factor(g, p)
+
+    def test_allow_partial_counts_assigned_edges_only(self):
+        g = Graph(3, np.array([0, 0]), np.array([1, 2]))
+        p = EdgePartition(2, [0, UNASSIGNED])
+        counts = vertex_replica_counts(g, p, allow_partial=True)
+        assert counts.tolist() == [1, 1, 0]
+        assert replication_factor(g, p, allow_partial=True) == 1.0
+
 
 class TestBalance:
     def test_perfect(self):
@@ -104,6 +121,13 @@ class TestCommunicationCost:
             edge_cut_ratio(tiny_graph, vp)
         assert communication_cost(tiny_graph, ep) == \
             replication_factor(tiny_graph, ep)
+
+    def test_allow_partial_propagates(self, tiny_graph):
+        ep = EdgePartition(2, [0, 1, 0, 1, 0, 1, UNASSIGNED])
+        with pytest.raises(PartitioningError):
+            communication_cost(tiny_graph, ep)
+        assert communication_cost(tiny_graph, ep, allow_partial=True) == \
+            replication_factor(tiny_graph, ep, allow_partial=True)
 
 
 class TestRuntimeSummaries:

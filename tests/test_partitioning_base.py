@@ -71,6 +71,15 @@ class TestEdgePartition:
         p = EdgePartition(2, [0, 1], masters=[1, 0, 1])
         assert p.masters.tolist() == [1, 0, 1]
 
+    def test_masters_out_of_range_rejected(self):
+        """Regression: masters used to skip the range check assignments get."""
+        with pytest.raises(PartitioningError):
+            EdgePartition(2, [0, 1], masters=[0, 7, -3])
+
+    def test_masters_unassigned_sentinel_allowed(self):
+        p = EdgePartition(2, [0, 1], masters=[0, UNASSIGNED, 1])
+        assert p.masters.tolist() == [0, UNASSIGNED, 1]
+
     def test_out_of_range_rejected(self):
         with pytest.raises(PartitioningError):
             EdgePartition(2, [0, 2])

@@ -1,0 +1,282 @@
+"""Golden-digest equivalence and unit tests for the scoring-kernel layer.
+
+The kernel port (``repro.partitioning.kernels``) is a pure performance
+change: for every (algorithm, seed, stream order) pair the kernelized
+partitioners must produce **bit-identical** assignments to the scalar
+pre-kernel loops snapshotted in :mod:`repro.partitioning._reference`.
+Two guards enforce that here:
+
+* a digest matrix pinned in ``tests/data_golden_digests.json`` (generated
+  from the pre-port implementations before the port landed);
+* live array equality against the reference loops, so the guard holds
+  even if both sides of the digest file were ever regenerated together.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.graph.generators import ldbc_like, twitter_like
+from repro.graph.stream import VertexStream
+from repro.partitioning import accepts_seed, make_partitioner
+from repro.partitioning._reference import REFERENCE_FACTORIES
+from repro.partitioning.base import argmax_with_ties, argmin_with_ties
+from repro.partitioning.kernels import (
+    FennelKernel,
+    LdgKernel,
+    argmax_tie_least_loaded,
+    argmin_with_ties_inline,
+    iter_edge_chunks,
+    iter_vertex_arrivals,
+    streaming_partial_degrees,
+    zip_chunked,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "data_golden_digests.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+K = 8
+ORDERS = ("natural", "random", "bfs")
+SEEDS = (1, 2)
+
+#: (label suffix, registry name, constructor kwargs) — one row per digest
+#: family; the label encodes non-default configs the way the digest keys do.
+CONFIGS = (
+    ("ldg", "ldg", {}),
+    ("fennel", "fennel", {}),
+    ("re-ldg-p2", "re-ldg", {"num_passes": 2}),
+    ("re-fennel-p2", "re-fennel", {"num_passes": 2}),
+    ("hdrf", "hdrf", {}),
+    ("greedy", "greedy", {}),
+    ("grid", "grid", {}),
+    ("dbh", "dbh", {}),
+    ("dbh-partial", "dbh", {"degrees": "partial"}),
+)
+
+
+@pytest.fixture(scope="module")
+def golden_graphs():
+    return {
+        "twitter300": twitter_like(num_vertices=300, seed=11),
+        "ldbc250": ldbc_like(num_vertices=250, avg_degree=6, seed=5),
+    }
+
+
+def _digest(assignment: np.ndarray) -> str:
+    data = np.ascontiguousarray(assignment, dtype=np.int32).tobytes()
+    return hashlib.sha256(data).hexdigest()[:16]
+
+
+def _construct(factory_kwargs, algorithm, seed):
+    kwargs = dict(factory_kwargs)
+    if accepts_seed(algorithm):
+        kwargs["seed"] = 100 + seed
+    return kwargs
+
+
+class TestGoldenDigests:
+    def test_matrix_is_complete(self):
+        expected = {f"{g}/{label}/{o}/s{s}"
+                    for g in ("twitter300", "ldbc250")
+                    for label, _, _ in CONFIGS
+                    for o in ORDERS for s in SEEDS}
+        assert set(GOLDEN) == expected
+
+    @pytest.mark.parametrize("graph_name", ("twitter300", "ldbc250"))
+    @pytest.mark.parametrize("label,algorithm,kwargs",
+                             CONFIGS, ids=[c[0] for c in CONFIGS])
+    def test_ported_partitioner_matches_golden_digest(
+            self, golden_graphs, graph_name, label, algorithm, kwargs):
+        """Kernelized output is bit-identical to the pre-port snapshot."""
+        graph = golden_graphs[graph_name]
+        for order in ORDERS:
+            for seed in SEEDS:
+                partitioner = make_partitioner(
+                    algorithm, **_construct(kwargs, algorithm, seed))
+                partition = partitioner.partition(graph, K,
+                                                  order=order, seed=seed)
+                key = f"{graph_name}/{label}/{order}/s{seed}"
+                assert _digest(partition.assignment) == GOLDEN[key], key
+
+    @pytest.mark.parametrize("label,algorithm,kwargs",
+                             CONFIGS, ids=[c[0] for c in CONFIGS])
+    def test_live_equivalence_against_reference_loops(
+            self, golden_graphs, label, algorithm, kwargs):
+        """Array-equal against the scalar loops, independent of the file."""
+        graph = golden_graphs["ldbc250"]
+        for order, seed in (("random", 1), ("bfs", 2)):
+            ctor = _construct(kwargs, algorithm, seed)
+            ported = make_partitioner(algorithm, **ctor).partition(
+                graph, K, order=order, seed=seed)
+            reference = REFERENCE_FACTORIES[algorithm](**ctor).partition(
+                graph, K, order=order, seed=seed)
+            assert np.array_equal(ported.assignment, reference.assignment), \
+                (label, order, seed)
+
+
+class TestStreamHelpers:
+    def test_iter_vertex_arrivals_fast_path_matches_stream(self, tiny_graph):
+        for order in ("natural", "random", "bfs"):
+            stream = VertexStream(tiny_graph, order=order, seed=3)
+            expected = [(a.vertex, sorted(np.asarray(a.neighbors).tolist()))
+                        for a in VertexStream(tiny_graph, order=order, seed=3)]
+            got = [(v, sorted(n.tolist()))
+                   for v, n in iter_vertex_arrivals(stream)]
+            assert got == expected
+
+    def test_iter_vertex_arrivals_generic_fallback(self):
+        pairs = [(0, [1, 2]), (1, [0]), (2, np.array([0]))]
+        got = [(v, n.tolist()) for v, n in iter_vertex_arrivals(iter(pairs))]
+        assert got == [(0, [1, 2]), (1, [0]), (2, [0])]
+
+    def test_zip_chunked_equals_plain_zip(self):
+        a = np.arange(10)
+        b = np.arange(10) * 2
+        assert list(zip_chunked(a, b, chunk_size=3)) == list(zip(a.tolist(),
+                                                                 b.tolist()))
+
+    def test_iter_edge_chunks_preserves_order(self, tiny_graph):
+        from repro.graph.stream import EdgeStream
+        from repro.partitioning.base import edge_stream_arrays
+        whole = edge_stream_arrays(EdgeStream(tiny_graph, order="random",
+                                              seed=5))
+        chunks = list(iter_edge_chunks(EdgeStream(tiny_graph, order="random",
+                                                  seed=5), chunk_size=3))
+        assert len(chunks) == 3          # 7 edges in chunks of 3
+        for whole_arr, parts in zip(whole, zip(*chunks)):
+            assert np.array_equal(np.concatenate(parts), whole_arr)
+
+    def test_streaming_partial_degrees_match_scalar_counters(self):
+        rng = np.random.default_rng(42)
+        src = rng.integers(0, 12, 200)
+        dst = rng.integers(0, 12, 200)
+        d_src, d_dst = streaming_partial_degrees(src, dst)
+        counters = np.zeros(12, dtype=np.int64)
+        for i, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+            counters[u] += 1
+            counters[v] += 1
+            assert d_src[i] == counters[u], i
+            assert d_dst[i] == counters[v], i
+
+    def test_streaming_partial_degrees_self_loop_counts_twice(self):
+        d_src, d_dst = streaming_partial_degrees(np.array([3, 3]),
+                                                 np.array([3, 1]))
+        assert d_src.tolist() == [2, 3]
+        assert d_dst.tolist() == [2, 1]
+
+    def test_streaming_partial_degrees_empty(self):
+        d_src, d_dst = streaming_partial_degrees(np.zeros(0, dtype=np.int64),
+                                                 np.zeros(0, dtype=np.int64))
+        assert d_src.size == 0 and d_dst.size == 0
+
+
+class TestTieBreakHelpers:
+    def test_argmax_matches_base_helper(self):
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        scores = np.array([1.0, 3.0, 3.0, 3.0])
+        sizes = np.array([0, 2, 1, 1])
+        for _ in range(20):
+            assert (argmax_tie_least_loaded(scores, sizes, rng_a)
+                    == argmax_with_ties(scores, tie_break=sizes, rng=rng_b))
+
+    def test_argmax_unique_consumes_no_rng(self):
+        rng = np.random.default_rng(1)
+        before = rng.bit_generator.state["state"]["state"]
+        argmax_tie_least_loaded(np.array([0.0, 2.0]), np.array([5, 5]), rng)
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_argmin_matches_base_helper(self):
+        rng_a = np.random.default_rng(4)
+        rng_b = np.random.default_rng(4)
+        values = np.array([2, 1, 1, 5])
+        for _ in range(20):
+            assert (argmin_with_ties_inline(values, rng_a)
+                    == argmin_with_ties(values, rng=rng_b))
+
+
+class TestEdgeCutKernels:
+    def test_ldg_incremental_availability_matches_formula(self):
+        kernel = LdgKernel(4, 10, capacity=2.5)
+        neighbors = np.array([1, 2, 3])
+        kernel.place(1, 0)
+        kernel.place(2, 0)
+        kernel.place(3, 2)
+        counts = kernel.neighbor_counts(neighbors)[:4].astype(np.float64)
+        expected = counts * (1.0 - kernel.sizes / 2.5)
+        assert np.array_equal(kernel.score(neighbors), expected)
+
+    def test_fennel_capacity_mask_is_minus_inf(self):
+        kernel = FennelKernel(2, 6, alpha=0.5, gamma=1.5, capacity=2.0)
+        kernel.place(0, 0)
+        kernel.place(1, 0)           # partition 0 reaches capacity
+        scores = kernel.score(np.array([0, 1]))
+        assert scores[0] == -np.inf
+        assert np.isfinite(scores[1])
+
+    def test_unplaced_neighbors_fall_in_overflow_bucket(self):
+        kernel = LdgKernel(3, 5, capacity=5.0)
+        kernel.place(0, 1)
+        counts = kernel.neighbor_counts(np.array([0, 2, 4]))
+        assert counts[:3].tolist() == [0, 1, 0]
+        assert counts[3] == 2        # the two unplaced neighbours
+
+    def test_begin_pass_resets_state(self):
+        kernel = FennelKernel(2, 4, alpha=1.0, gamma=1.5, capacity=2.0)
+        kernel.place(0, 0)
+        kernel.place(1, 0)
+        kernel.begin_pass(alpha=2.0)
+        assert kernel.sizes.tolist() == [0, 0]
+        assert np.all(kernel.slots == 2)
+        assert kernel.export_assignment().tolist() == [-1, -1, -1, -1]
+        kernel.place(2, 1)
+        assert kernel._penalty[1] == 2.0 * 1.5 * 1.0   # alpha re-annealed
+
+
+_SETTINGS = settings(max_examples=15, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=30))
+    m = draw(st.integers(min_value=1, max_value=90))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + rng.integers(1, n, m)) % n
+    return Graph(n, src, dst)
+
+
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6),
+       order=st.sampled_from(["natural", "random", "bfs"]),
+       seed=st.integers(min_value=0, max_value=1000))
+@_SETTINGS
+def test_property_fennel_respects_capacity(graph, k, order, seed):
+    """FENNEL's hard cap: no partition exceeds ν·n/k across seeds/orders."""
+    partitioner = make_partitioner("fennel", load_cap=1.1, seed=seed)
+    partition = partitioner.partition(graph, k, order=order, seed=seed)
+    assert partition.is_complete()
+    capacity = max(1.0, 1.1 * graph.num_vertices / k)
+    assert partition.sizes().max() <= int(np.ceil(capacity))
+
+
+@given(graph=graphs(), k=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=1000))
+@_SETTINGS
+def test_property_kernelized_partitioners_respect_bounds(graph, k, seed):
+    """Every kernel-ported algorithm keeps assignments inside [0, k)."""
+    for algorithm in ("ldg", "fennel", "re-ldg", "hdrf", "dbh", "greedy",
+                      "grid"):
+        kwargs = {"seed": seed} if accepts_seed(algorithm) else {}
+        partition = make_partitioner(algorithm, **kwargs).partition(
+            graph, k, order="random", seed=seed)
+        assert partition.is_complete()
+        assert partition.assignment.min() >= 0
+        assert partition.assignment.max() < k

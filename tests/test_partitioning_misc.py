@@ -146,6 +146,16 @@ class TestDecisionTree:
         with pytest.raises(ConfigurationError):
             recommend("analytics", graph_type="bipartite")
 
+    def test_bogus_load_rejected(self):
+        """Regression: load="HIGH" used to fall through to the medium branch."""
+        with pytest.raises(ConfigurationError, match="load"):
+            recommend("online", load="HIGH")
+
+    def test_bogus_objective_rejected(self):
+        """Regression: objective typos used to silently pick the latency leaf."""
+        with pytest.raises(ConfigurationError, match="objective"):
+            recommend("online", objective="latencyy")
+
     def test_recommend_for_graph_classifies(self, small_road):
         rec = recommend_for_graph(small_road, "analytics")
         assert rec.algorithm == "fennel"

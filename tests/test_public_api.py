@@ -22,6 +22,7 @@ PUBLIC_MODULES = (
     "repro.metrics",
     "repro.orchestrator",
     "repro.partitioning",
+    "repro.partitioning.kernels",
     "repro.telemetry",
     "repro.tools.lint",
 )

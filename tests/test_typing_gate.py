@@ -53,6 +53,7 @@ class TestBaseline:
             "src/repro/rng.py",
             "src/repro/graph/digraph.py",
             "src/repro/partitioning/base.py",
+            "src/repro/partitioning/kernels.py",
             "src/repro/orchestrator/cache.py",
         }
         # Everything else is covered by an (unratcheted) pattern.
