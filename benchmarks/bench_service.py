@@ -1,0 +1,139 @@
+"""Throughput and latency of the online partitioning service.
+
+Runs the seeded service loop twice on the same graph — migration
+disabled vs. migration enabled — and records what robustness costs:
+sustained mutations/sec of the epoch loop (wall clock), the worst
+per-epoch p99 query latency with and without a migration in flight,
+shed-operation counts, and the migration bill (vertices moved, bytes
+shipped, simulated worker-seconds charged).  Writes
+``benchmarks/output/BENCH_service.json``.
+
+Run standalone — it does not need pytest::
+
+    python benchmarks/bench_service.py                 # quick profile
+    python benchmarks/bench_service.py --profile smoke # CI smoke job
+    python benchmarks/bench_service.py --profile full
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.graph.generators import ldbc_like  # noqa: E402
+from repro.service import PartitionedGraphService, ServiceConfig  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+OUTPUT_JSON = OUTPUT_DIR / "BENCH_service.json"
+
+#: Graph size / churn per profile: smoke keeps the CI job in seconds.
+PROFILES = {
+    "smoke": {"num_vertices": 1_000, "epochs": 6, "mutations": 300},
+    "quick": {"num_vertices": 2_000, "epochs": 12, "mutations": 600},
+    "full": {"num_vertices": 8_000, "epochs": 16, "mutations": 2_400},
+}
+
+
+def _config(params: dict, *, migration: bool) -> ServiceConfig:
+    return ServiceConfig(
+        num_partitions=8,
+        epochs=params["epochs"],
+        epoch_duration=0.2,
+        seed=7,
+        mutations_per_epoch=params["mutations"],
+        query_bindings_per_epoch=40,
+        drift_threshold=0.01 if migration else None,
+        migration_cooldown_epochs=1,
+        migration_budget=max(100, params["num_vertices"] // 8),
+        mutation_queue_bound=params["mutations"] * 2,
+        mutation_service_rate=params["mutations"],
+    )
+
+
+def _measure(graph, config: ServiceConfig) -> dict:
+    started = time.perf_counter()
+    result = PartitionedGraphService(graph, config=config).run()
+    wall = time.perf_counter() - started
+    applied = sum(r.applied_mutations for r in result.epochs)
+    migration_epochs = {m.execute_epoch for m in result.migrations}
+    p99_all = [r.p99_latency_ms for r in result.epochs]
+    p99_migrating = [r.p99_latency_ms for r in result.epochs
+                     if r.epoch in migration_epochs]
+    p99_steady = [r.p99_latency_ms for r in result.epochs
+                  if r.epoch not in migration_epochs]
+    return {
+        "wall_seconds": round(wall, 3),
+        "mutations_applied": applied,
+        "mutations_per_second_wall": round(applied / wall, 1),
+        "completed_queries": result.total_completed_queries,
+        "failed_queries": result.total_failed_queries,
+        "shed_writes": result.shed_writes,
+        "shed_reads": result.shed_reads,
+        "migrations": len(result.migrations),
+        "vertices_migrated": result.vertices_migrated,
+        "bytes_shipped": sum(m.bytes_shipped for m in result.migrations),
+        "busy_seconds_charged": round(
+            sum(m.busy_seconds_charged for m in result.migrations), 4),
+        "worst_p99_ms": round(max(p99_all), 2),
+        "p99_ms_migration_epochs": round(max(p99_migrating), 2)
+        if p99_migrating else None,
+        "p99_ms_steady_epochs": round(max(p99_steady), 2)
+        if p99_steady else None,
+        "final_edge_cut": round(result.drift[-1].edge_cut, 4),
+        "digest": result.digest(),
+    }
+
+
+def run(profile: str) -> dict:
+    params = PROFILES[profile]
+    graph = ldbc_like(num_vertices=params["num_vertices"],
+                      avg_degree=10.0, seed=7)
+    results = {}
+    for label, migration in (("no_migration", False), ("migration", True)):
+        config = _config(params, migration=migration)
+        results[label] = _measure(graph, config)
+        row = results[label]
+        print(f"{label:13s} {row['mutations_per_second_wall']:>9.1f} mut/s "
+              f"p99 {row['worst_p99_ms']:6.2f}ms  cut "
+              f"{row['final_edge_cut']:.3f}  "
+              f"moved {row['vertices_migrated']}")
+    # Same-seed re-run must be byte-identical (the CI smoke assertion).
+    repeat = _measure(graph, _config(params, migration=True))
+    if repeat["digest"] != results["migration"]["digest"]:
+        raise AssertionError("same-seed service runs diverged: "
+                             f"{repeat['digest']} != "
+                             f"{results['migration']['digest']}")
+    return {
+        "schema": 1,
+        "profile": profile,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "config": {
+            k: v for k, v in dataclasses.asdict(
+                _config(params, migration=True)).items()
+            if k != "fault_schedule"},
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="quick")
+    args = parser.parse_args(argv)
+    payload = run(args.profile)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {OUTPUT_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

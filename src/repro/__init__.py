@@ -67,6 +67,12 @@ from repro.partitioning import (
     recommend,
     recommend_for_graph,
 )
+from repro.service import (
+    DriftMonitor,
+    PartitionedGraphService,
+    ServiceConfig,
+    ServiceResult,
+)
 
 __version__ = "1.0.0"
 
@@ -100,4 +106,8 @@ __all__ = [
     "edge_cut_ratio",
     "replication_factor",
     "load_imbalance",
+    "ServiceConfig",
+    "PartitionedGraphService",
+    "ServiceResult",
+    "DriftMonitor",
 ]

@@ -5,8 +5,10 @@ from repro.database.cluster import Cluster, ServiceModel, Worker, WorkerStats
 from repro.database.mutations import (
     MUTATION_KINDS,
     GraphMutationLog,
+    delete_edge_plan,
     insert_edge_plan,
     mixed_read_write_bindings,
+    remove_vertex_plan,
     update_vertex_plan,
 )
 from repro.database.queries import (
@@ -74,6 +76,8 @@ __all__ = [
     "GraphMutationLog",
     "insert_edge_plan",
     "update_vertex_plan",
+    "delete_edge_plan",
+    "remove_vertex_plan",
     "mixed_read_write_bindings",
     "MUTATION_KINDS",
 ]

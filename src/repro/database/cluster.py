@@ -95,6 +95,12 @@ class WorkerStats:
     #: Requests that never got a response (worker crashed or wire drop) —
     #: populated only under fault injection (see :mod:`repro.faults`).
     requests_lost: int = 0
+    #: Server seconds spent shipping migration batches — populated only
+    #: when the online service schedules background work
+    #: (see :mod:`repro.service`).
+    migration_seconds: float = 0.0
+    #: Migration batches this worker participated in.
+    migration_batches: int = 0
 
 
 class Worker:

@@ -8,13 +8,20 @@ simulated graph database:
 * an **edge insert** touches both endpoint owners (forward adjacency at
   the source's partition, reverse adjacency at the target's) — under an
   edge-cut placement a co-located edge is a single-partition write;
-* a **vertex update** touches the owner partition only.
+* a **vertex update** touches the owner partition only;
+* an **edge delete** mirrors the insert's dual write (tombstones at both
+  endpoint owners);
+* a **vertex removal** touches the vertex's own record plus the reverse
+  adjacency entry at every neighbour's owner — the expensive cascading
+  cleanup that makes entity deletion a wide write in real stores.
 
 Mutations are expressed as :class:`~repro.database.queries.QueryPlan`
 objects (each phase = records touched in parallel), so the closed-loop
 simulator executes mixed read/write workloads unchanged, and
-:class:`GraphMutationLog` collects the inserts so a grown graph can be
-re-materialised for dynamic-partitioning experiments.
+:class:`GraphMutationLog` collects the full ordered op stream — inserts,
+deletes, vertex arrivals and removals — so the mutated graph can be
+re-materialised for dynamic-partitioning experiments and the online
+service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -27,7 +34,8 @@ from repro.graph.builder import GraphBuilder
 from repro.graph.digraph import Graph
 from repro.rng import make_rng
 
-MUTATION_KINDS = ("insert_edge", "update_vertex")
+MUTATION_KINDS = ("insert_edge", "update_vertex", "delete_edge",
+                  "remove_vertex")
 
 
 def insert_edge_plan(graph: Graph, src: int, dst: int) -> QueryPlan:
@@ -50,6 +58,35 @@ def update_vertex_plan(graph: Graph, vertex: int) -> QueryPlan:
                      [np.array([vertex], dtype=np.int64)])
 
 
+def delete_edge_plan(graph: Graph, src: int, dst: int) -> QueryPlan:
+    """The storage footprint of deleting edge ``src -> dst``.
+
+    Symmetric to :func:`insert_edge_plan`: a tombstone at the source's
+    forward adjacency and one at the target's reverse adjacency, written
+    in parallel.
+    """
+    _check(graph, src)
+    _check(graph, dst)
+    vertices = np.unique(np.array([src, dst], dtype=np.int64))
+    return QueryPlan("delete_edge", src, [vertices])
+
+
+def remove_vertex_plan(graph: Graph, vertex: int) -> QueryPlan:
+    """The storage footprint of removing a vertex and its incident edges.
+
+    Phase 1 reads/tombstones the vertex's own record (which yields its
+    adjacency); phase 2 cleans the reverse adjacency entry at every
+    neighbour's owner in parallel — removal cost scales with degree.
+    """
+    _check(graph, vertex)
+    phases = [np.array([vertex], dtype=np.int64)]
+    neighbors = np.unique(graph.neighbors(vertex))
+    neighbors = neighbors[neighbors != vertex]
+    if neighbors.size:
+        phases.append(neighbors)
+    return QueryPlan("remove_vertex", vertex, phases)
+
+
 def _check(graph: Graph, vertex: int) -> None:
     if not 0 <= vertex < graph.num_vertices:
         raise ConfigurationError(
@@ -57,34 +94,104 @@ def _check(graph: Graph, vertex: int) -> None:
 
 
 class GraphMutationLog:
-    """Accumulates edge inserts so the grown graph can be materialised.
+    """Ordered log of graph mutations, replayable into a materialised graph.
+
+    Supports the full LinkBench-style op set: edge inserts, edge deletes,
+    new-vertex arrivals (:meth:`add_vertex` grows the id space) and vertex
+    removals (incident edges die; the id remains as an isolated vertex, a
+    tombstone — ids are never recycled, matching log-structured stores).
+    Replay is order-sensitive: a delete only kills edges logged (or in the
+    base graph) *before* it, so delete-then-reinsert round-trips.
 
     The dynamic-partitioning experiments use this to measure how a stale
-    partitioning degrades as the graph grows, and how refinement
+    partitioning degrades as the graph mutates, and how refinement
     (:func:`repro.partitioning.dynamic.hermes_refine`) recovers it.
     """
 
     def __init__(self, base: Graph):
         self.base = base
-        self._inserts: list[tuple[int, int]] = []
+        #: Ordered ops: ``(kind, u, v)``; ``v`` is -1 for vertex ops.
+        self._ops: list[tuple[str, int, int]] = []
+        self._added_vertices = 0
+
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex-id space (base plus vertices added via the log)."""
+        return self.base.num_vertices + self._added_vertices
+
+    def _check_id(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise ConfigurationError(
+                f"vertex {vertex} out of range for {self.num_vertices} "
+                f"vertices")
 
     def insert_edge(self, src: int, dst: int) -> None:
-        _check(self.base, src)
-        _check(self.base, dst)
-        self._inserts.append((src, dst))
+        self._check_id(src)
+        self._check_id(dst)
+        self._ops.append(("insert_edge", src, dst))
+
+    def delete_edge(self, src: int, dst: int) -> None:
+        """Kill every live ``src -> dst`` edge logged or present so far."""
+        self._check_id(src)
+        self._check_id(dst)
+        self._ops.append(("delete_edge", src, dst))
+
+    def add_vertex(self) -> int:
+        """Grow the id space by one; returns the new vertex's id."""
+        vertex = self.num_vertices
+        self._added_vertices += 1
+        self._ops.append(("add_vertex", vertex, -1))
+        return vertex
+
+    def remove_vertex(self, vertex: int) -> None:
+        """Kill every live edge incident to *vertex* (the id remains)."""
+        self._check_id(vertex)
+        self._ops.append(("remove_vertex", vertex, -1))
 
     @property
     def num_inserts(self) -> int:
-        return len(self._inserts)
+        return sum(1 for kind, _, _ in self._ops if kind == "insert_edge")
+
+    @property
+    def num_deletes(self) -> int:
+        return sum(1 for kind, _, _ in self._ops
+                   if kind in ("delete_edge", "remove_vertex"))
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
 
     def materialize(self, name: str | None = None) -> Graph:
-        """The base graph plus every logged insert."""
-        builder = GraphBuilder(num_vertices=self.base.num_vertices,
+        """Replay the log over the base graph and build the result.
+
+        Deletes are applied in log order against everything created
+        before them: base edges carry creation index -1, logged inserts
+        their op index, and a delete at op index ``p`` only kills live
+        matching edges with creation index ``< p``.
+        """
+        base_m = self.base.num_edges
+        inserts = [(i, u, v) for i, (kind, u, v) in enumerate(self._ops)
+                   if kind == "insert_edge"]
+        src = np.concatenate([
+            self.base.src, np.array([u for _, u, _ in inserts],
+                                    dtype=np.int64)])
+        dst = np.concatenate([
+            self.base.dst, np.array([v for _, _, v in inserts],
+                                    dtype=np.int64)])
+        created = np.concatenate([
+            np.full(base_m, -1, dtype=np.int64),
+            np.array([i for i, _, _ in inserts], dtype=np.int64)])
+        alive = np.ones(src.size, dtype=bool)
+        for index, (kind, u, v) in enumerate(self._ops):
+            if kind == "delete_edge":
+                alive &= ~((src == u) & (dst == v) & (created < index))
+            elif kind == "remove_vertex":
+                alive &= ~(((src == u) | (dst == u)) & (created < index))
+        builder = GraphBuilder(num_vertices=self.num_vertices,
                                allow_self_loops=True)
-        builder.add_edges(self.base.edge_array())
-        if self._inserts:
-            builder.add_edges(self._inserts)
-        return builder.build(name=name or f"{self.base.name}+{self.num_inserts}")
+        if alive.any():
+            builder.add_edges(np.column_stack([src[alive], dst[alive]]))
+        return builder.build(name=name or f"{self.base.name}+{self.num_ops}")
 
 
 def mixed_read_write_bindings(generator, *, count: int = 1000,

@@ -154,12 +154,22 @@ def plan_query(graph: Graph, kind: str, start_vertex: int, *,
         if target_vertex is None:
             raise ConfigurationError("shortest_path needs a target_vertex")
         return shortest_path(graph, start_vertex, target_vertex)
-    if kind in ("insert_edge", "update_vertex"):
-        from repro.database.mutations import insert_edge_plan, update_vertex_plan
-        if kind == "insert_edge":
+    if kind in ("insert_edge", "update_vertex", "delete_edge",
+                "remove_vertex"):
+        from repro.database.mutations import (
+            delete_edge_plan,
+            insert_edge_plan,
+            remove_vertex_plan,
+            update_vertex_plan,
+        )
+        if kind in ("insert_edge", "delete_edge"):
             if target_vertex is None:
-                raise ConfigurationError("insert_edge needs a target_vertex")
-            return insert_edge_plan(graph, start_vertex, target_vertex)
+                raise ConfigurationError(f"{kind} needs a target_vertex")
+            maker = insert_edge_plan if kind == "insert_edge" \
+                else delete_edge_plan
+            return maker(graph, start_vertex, target_vertex)
+        if kind == "remove_vertex":
+            return remove_vertex_plan(graph, start_vertex)
         return update_vertex_plan(graph, start_vertex)
     raise ConfigurationError(f"unknown query kind {kind!r}; expected "
                              f"{QUERY_KINDS} or a mutation kind")

@@ -270,17 +270,42 @@ class ClosedLoopSimulation:
 
     # ------------------------------------------------------------------
     def run(self, bindings: list[QueryBinding], *, duration: float = 2.0,
-            warmup_fraction: float = 0.25) -> SimulationResult:
+            warmup_fraction: float = 0.25,
+            background_work=None,
+            migrating_vertices=None,
+            migration_wait_seconds: float = 0.0) -> SimulationResult:
         """Simulate *duration* seconds of closed-loop load.
 
         Clients cycle through *bindings* at staggered offsets, so every
         algorithm under comparison serves the same query sequence.
         Metrics cover completions after ``warmup_fraction * duration``.
+
+        The three optional knobs model an in-flight partition migration
+        (see :mod:`repro.service`) and are **exact no-ops** when left at
+        their defaults — the same ChaosHarness-style invariant as
+        ``fault_schedule``:
+
+        * ``background_work`` — ``(time, worker, seconds)`` triples; each
+          occupies *worker*'s FIFO server for *seconds* starting no
+          earlier than *time* (a migration batch shipping vertex state —
+          rate-limited by the caller, so it delays but never stalls
+          queries).
+        * ``migrating_vertices`` — vertex ids temporarily double-homed
+          mid-move; a query *starting* at one of them first waits
+          ``migration_wait_seconds`` (the ownership-handshake retry) —
+          counted in ``db.migration.waits``.
         """
         if not bindings:
             raise ConfigurationError("bindings must be non-empty")
         if duration <= 0:
             raise ConfigurationError("duration must be positive")
+        if migration_wait_seconds < 0:
+            raise ConfigurationError("migration_wait_seconds must be >= 0")
+        migrating = None
+        if migrating_vertices is not None:
+            moving = np.asarray(migrating_vertices, dtype=np.int64)
+            if moving.size:
+                migrating = frozenset(moving.tolist())
         self.cluster.reset()
         model = self.cluster.model
         schedule = self.fault_schedule
@@ -315,6 +340,12 @@ class ClosedLoopSimulation:
         c_retries = metrics.counter("db.retries")
         c_failed = metrics.counter("db.queries.failed")
         c_dropped = metrics.counter("db.requests.dropped")
+        # Created only when a migration is in flight, so a plain run's
+        # metrics registry is byte-identical to the pre-service layout.
+        c_migration_waits = metrics.counter("db.migration.waits") \
+            if migrating is not None else None
+        c_migration_busy = metrics.counter("db.migration.busy_seconds") \
+            if background_work else None
         root_span = tracer.begin(
             "db.run", 0.0, parent=None,
             num_workers=self.cluster.num_workers,
@@ -330,8 +361,21 @@ class ClosedLoopSimulation:
             return bindings[index]
 
         def start_query(client: int, now: float) -> None:
-            routed = self._routed(next_binding(client))
+            binding = next_binding(client)
+            routed = self._routed(binding)
             state = _QueryState(routed, client, now)
+            if migrating is not None and binding.start_vertex in migrating:
+                # The start vertex is mid-migration (double-homed): the
+                # client's first request races the ownership handshake and
+                # is answered only after one bounded retry wait.  Applied
+                # once per query, at start — migration delays reads, it
+                # never drops them.
+                c_migration_waits.inc()
+                state.phase_ready = now + migration_wait_seconds
+                if tracing:
+                    tracer.point("db.migration.wait", now, parent=root_span,
+                                 vertex=binding.start_vertex, client=client)
+                now = state.phase_ready
             if tracing:
                 state.span = tracer.begin(
                     "db.query", now, parent=root_span, kind=routed.kind,
@@ -535,10 +579,38 @@ class ClosedLoopSimulation:
         def on_phase_done(state: _QueryState, now: float) -> None:
             issue_phase(state, now)
 
+        def on_background(payload, now: float) -> None:
+            # A migration batch occupies the worker's FIFO server like any
+            # storage request: queries queued behind it wait, which is the
+            # honest latency price of shipping vertex state.
+            worker_id, seconds = payload
+            worker = self.cluster.workers[worker_id]
+            begin = max(now, worker.busy_until)
+            worker.busy_until = begin + seconds
+            worker.stats.busy_seconds += seconds
+            worker.stats.migration_seconds += seconds
+            worker.stats.migration_batches += 1
+            c_migration_busy.inc(seconds)
+            if tracing:
+                tracer.point("db.migration.batch", now, parent=root_span,
+                             worker=worker_id, seconds=seconds)
+
         # Stagger client start-up across the first millisecond so the
         # initial burst does not synchronise queues artificially.
         for client in range(num_clients):
             push(client * 1e-6, "start", client)
+        if background_work:
+            for when, worker_id, seconds in background_work:
+                if seconds < 0 or when < 0:
+                    raise ConfigurationError(
+                        "background_work entries must have time >= 0 and "
+                        "seconds >= 0")
+                if not 0 <= int(worker_id) < self.cluster.num_workers:
+                    raise ConfigurationError(
+                        f"background_work worker {worker_id} outside the "
+                        f"{self.cluster.num_workers}-worker cluster")
+                push(float(when), "background",
+                     (int(worker_id), float(seconds)))
 
         while events:
             event = heapq.heappop(events)
@@ -554,6 +626,8 @@ class ClosedLoopSimulation:
                 on_timeout(event.payload, event.time)
             elif event.kind == "retry":
                 on_retry(event.payload, event.time)
+            elif event.kind == "background":
+                on_background(event.payload, event.time)
             else:  # "abort": the whole replica chain was down at start.
                 fail_query(event.payload, event.time)
 

@@ -35,6 +35,7 @@ from repro.experiments.figures import (
     figure14,
     figure15,
 )
+from repro.experiments.online_service import online_service
 from repro.experiments.report import ExperimentReport, Table
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.tables import table3, table4, table5
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "ablation-straggler": ablation_straggler,
     "ablation-partitioning-cost": ablation_partitioning_cost,
     "ablation-sender-side-aggregation": ablation_sender_side_aggregation,
+    "online-service": online_service,
 }
 
 __all__ = [
@@ -90,4 +92,5 @@ __all__ = [
     "ablation_straggler",
     "ablation_partitioning_cost",
     "ablation_sender_side_aggregation",
+    "online_service",
 ]

@@ -59,6 +59,11 @@ def main(argv=None) -> int:
         # `python -m repro lint ...` is the same as the repro-lint script.
         from repro.tools.lint.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv[:1] == ["serve-sim"]:
+        # The online partitioning service (docs/online_service.md);
+        # `python -m repro serve-sim --help` lists the scenario knobs.
+        from repro.service.cli import main as serve_main
+        return serve_main(argv[1:])
     if argv[:1] == ["run-all"]:
         return _run_all_command(argv[1:])
     if argv[:1] == ["cache"]:

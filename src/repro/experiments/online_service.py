@@ -1,0 +1,90 @@
+"""Online-service experiment: migration budget vs quality vs latency.
+
+The paper's Section 2 motivation — partitionings age under live mutation
+traffic — becomes an end-to-end scenario here: the
+:class:`~repro.service.PartitionedGraphService` ingests the same
+seed-deterministic mutation/query stream under three policies (no
+migration, a tight migration budget, a generous one) and the report
+shows the robustness trade-off: a bounded repartitioning buys back cut
+quality at a measurable latency price, while admission control keeps
+read loss at zero throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentReport, Table
+from repro.experiments.runner import ExperimentContext
+from repro.service.config import ServiceConfig
+from repro.service.core import PartitionedGraphService
+
+#: Seed for every service run in this experiment (distinct streams per
+#: epoch are derived inside the service).
+SERVICE_SEED = 7
+
+
+def _service_config(num_vertices: int, *, budget: int | None) -> ServiceConfig:
+    """One policy variant, with traffic scaled to the graph size."""
+    mutations = max(200, (num_vertices * 3) // 10)
+    return ServiceConfig(
+        num_partitions=8,
+        epochs=12,
+        epoch_duration=0.2,
+        seed=SERVICE_SEED,
+        mutations_per_epoch=mutations,
+        query_bindings_per_epoch=40,
+        drift_threshold=None if budget is None else 0.015,
+        migration_budget=budget or 0,
+        mutation_queue_bound=mutations * 2,
+        mutation_service_rate=mutations,
+    )
+
+
+def online_service(ctx: ExperimentContext | None = None,
+                   dataset: str = "ldbc-snb") -> ExperimentReport:
+    """Drift -> bounded migration -> recovery, across budget policies."""
+    ctx = ctx or ExperimentContext()
+    graph = ctx.graph(dataset)
+    budgets: tuple[tuple[str, int | None], ...] = (
+        ("no migration", None),
+        ("tight budget", max(64, graph.num_vertices // 16)),
+        ("generous budget", max(256, graph.num_vertices // 4)),
+    )
+
+    report = ExperimentReport(
+        "online-service",
+        f"Online partitioning service on {dataset} "
+        f"({graph.num_vertices:,} vertices): migration budget ablation",
+    )
+    table = report.add_table(Table(
+        "Final quality and latency by migration policy",
+        ["Policy", "Migrations", "Moved", "FinalCut", "p99(ms)",
+         "ShedWrites", "ShedReads", "Failed"],
+    ))
+    data = {}
+    for label, budget in budgets:
+        config = _service_config(graph.num_vertices, budget=budget)
+        result = PartitionedGraphService(graph, config=config).run()
+        final = result.drift[-1]
+        p99 = max((record.p99_latency_ms for record in result.epochs),
+                  default=0.0)
+        data[label] = {
+            "budget": 0 if budget is None else budget,
+            "migrations": len(result.migrations),
+            "vertices_migrated": result.vertices_migrated,
+            "final_edge_cut": final.edge_cut,
+            "worst_p99_ms": p99,
+            "shed_writes": result.shed_writes,
+            "shed_reads": result.shed_reads,
+            "failed_queries": result.total_failed_queries,
+            "digest": result.digest(),
+        }
+        table.add_row(label, len(result.migrations),
+                      result.vertices_migrated, round(final.edge_cut, 3),
+                      round(p99, 2), result.shed_writes, result.shed_reads,
+                      result.total_failed_queries)
+    report.data["results"] = data
+    report.add_note("Expected: migration recovers the drifting edge cut "
+                    "within its vertex budget; the recovery epoch pays a "
+                    "visible p99 bump (state transfer shares the workers); "
+                    "reads are never shed under nominal load.")
+    return report

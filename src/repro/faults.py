@@ -185,6 +185,34 @@ class FaultSchedule:
         end = start + duration if duration != float("inf") else float("inf")
         return cls(crashes=(CrashInterval(worker, start, end),), seed=seed)
 
+    def window(self, start: float, duration: float) -> "FaultSchedule":
+        """The schedule restricted to ``[start, start + duration)``,
+        re-based so the window begins at time 0.
+
+        The online service runs its query simulation epoch by epoch; each
+        epoch sees the slice of the global fault schedule that overlaps
+        it, so one long schedule composes naturally with drift-triggered
+        migration.  Drop probability, extra latency and the seed carry
+        over unchanged (drop/jitter draws are keyed by request id, not
+        time).
+        """
+        if duration <= 0:
+            raise FaultInjectionError("window duration must be positive")
+        end = start + duration
+        crashes = tuple(
+            CrashInterval(c.worker, max(0.0, c.start - start),
+                          c.end - start if c.end != float("inf")
+                          else float("inf"))
+            for c in self.crashes if c.start < end and c.end > start)
+        slowdowns = tuple(
+            SlowdownInterval(s.worker, max(0.0, s.start - start),
+                             min(s.end - start, duration), s.factor)
+            for s in self.slowdowns if s.start < end and s.end > start)
+        return FaultSchedule(crashes=crashes, slowdowns=slowdowns,
+                             drop_probability=self.drop_probability,
+                             extra_latency_seconds=self.extra_latency_seconds,
+                             seed=self.seed)
+
     # ------------------------------------------------------------------
     # Queries (the substrate-facing API)
     # ------------------------------------------------------------------

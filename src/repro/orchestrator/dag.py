@@ -310,6 +310,12 @@ def _req_ablation_sender_side(profile):
     return _partitions(["twitter"], ["ecr", "ldg", "vcr", "hdrf", "hcr"], [16])
 
 
+def _req_online_service(profile):
+    # The service loop derives everything else (partitions, traffic,
+    # simulations) from its own seeds; only the base graph is planned.
+    return _datasets(ONLINE_DATASET)
+
+
 _REQUIREMENTS = {
     "table3": _req_table3,
     "table4": _req_table4,
@@ -337,4 +343,5 @@ _REQUIREMENTS = {
     "ablation-straggler": _req_ablation_straggler,
     "ablation-partitioning-cost": _req_ablation_twitter,
     "ablation-sender-side-aggregation": _req_ablation_sender_side,
+    "online-service": _req_online_service,
 }

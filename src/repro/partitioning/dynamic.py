@@ -72,6 +72,11 @@ class IncrementalEdgeCutPartitioner:
         total = int(self._sizes.sum()) + 1
         capacity = max(1.0, math.ceil(self.balance_slack * total / k))
         neighbors = np.asarray(neighbors, dtype=np.int64)
+        if neighbors.size and int(neighbors.min()) < 0:
+            # A negative id would wrap-index into the assignment array and
+            # silently score against an arbitrary vertex's partition.
+            raise PartitioningError(
+                f"neighbor ids must be >= 0, got {int(neighbors.min())}")
         in_range = neighbors[neighbors < self._assignment.size]
         placed = self._assignment[in_range]
         placed = placed[placed != UNASSIGNED]
@@ -85,6 +90,45 @@ class IncrementalEdgeCutPartitioner:
         self._sizes[target] += 1
         return int(target)
 
+    def require_covers(self, graph: Graph) -> None:
+        """Raise unless the accumulated assignment covers *graph* exactly.
+
+        Guards the refinement path of the online service: a materialised
+        graph whose vertex count diverged from the placement state would
+        otherwise mis-index silently.
+        """
+        if self._assignment.size != graph.num_vertices:
+            raise PartitioningError(
+                f"assignment covers {self._assignment.size} vertices but "
+                f"graph {graph.name!r} has {graph.num_vertices}; place new "
+                f"arrivals with add_vertex() before refining")
+
+    def apply_moves(self, vertices, targets) -> None:
+        """Re-home *vertices* to *targets*, keeping size counters in sync.
+
+        The migration executor's entry point: a bounded
+        :func:`hermes_refine` proposes moves, the service commits them
+        here batch by batch.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if vertices.shape != targets.shape:
+            raise ConfigurationError("vertices and targets must align")
+        if vertices.size == 0:
+            return
+        if int(vertices.min()) < 0 or \
+                int(vertices.max()) >= self._assignment.size:
+            raise PartitioningError(
+                f"move targets vertices outside the assignment "
+                f"(size {self._assignment.size})")
+        if int(targets.min()) < 0 or int(targets.max()) >= self.num_partitions:
+            raise ConfigurationError(
+                f"target partitions must be in [0, {self.num_partitions})")
+        old = self._assignment[vertices].astype(np.int64)
+        self._sizes -= np.bincount(old, minlength=self.num_partitions)
+        self._sizes += np.bincount(targets, minlength=self.num_partitions)
+        self._assignment[vertices] = targets.astype(np.int32)
+
     def to_partition(self, algorithm: str = "ldg-incr") -> VertexPartition:
         """Snapshot the accumulated assignment."""
         return VertexPartition(self.num_partitions, self._assignment.copy(),
@@ -97,6 +141,7 @@ def hermes_refine(
     *,
     balance_slack: float = 1.1,
     max_passes: int = 8,
+    max_moves: int | None = None,
     seed=None,
 ) -> VertexPartition:
     """Iterative gain-driven refinement of an edge-cut partitioning.
@@ -106,27 +151,43 @@ def hermes_refine(
     edges saved) whenever the balance constraint permits.  Converges when
     a pass moves nothing — typically a handful of passes.
 
+    ``max_moves`` caps the total number of accepted moves — the online
+    service's migration budget: each move is a vertex whose state must be
+    shipped between workers, so refinement quality is bought at an
+    explicit migration price.  ``None`` refines to convergence.
+
     Returns a new :class:`VertexPartition` (the input is not modified)
     whose cut is never worse than the input's.
     """
     if partition.num_vertices != graph.num_vertices:
-        raise PartitioningError("partition does not cover the graph")
+        raise PartitioningError(
+            f"partition covers {partition.num_vertices} vertices but graph "
+            f"{graph.name!r} has {graph.num_vertices}; refine against the "
+            f"same materialisation the partition was built for")
     if not partition.is_complete():
         raise PartitioningError("cannot refine an incomplete partitioning")
     if balance_slack < 1.0:
         raise ConfigurationError("balance_slack (beta) must be >= 1")
+    if max_moves is not None and max_moves < 0:
+        raise ConfigurationError("max_moves must be >= 0 (or None)")
     rng = make_rng(seed)
     k = partition.num_partitions
     assignment = partition.assignment.copy()
     sizes = partition.sizes().astype(np.int64)
     capacity = max(1.0, balance_slack * graph.num_vertices / k)
+    budget = math.inf if max_moves is None else max_moves
 
+    total_moved = 0
     for _pass in range(max_passes):
+        if total_moved >= budget:
+            break
         boundary = _boundary_vertices(graph, assignment)
         if boundary.size == 0:
             break
         moved = 0
         for u in rng.permutation(boundary).tolist():
+            if total_moved >= budget:
+                break
             current = assignment[u]
             neighbor_parts = assignment[graph.neighbors(u)]
             gain_to = np.bincount(neighbor_parts, minlength=k).astype(np.float64)
@@ -142,6 +203,7 @@ def hermes_refine(
                 sizes[current] -= 1
                 sizes[best] += 1
                 moved += 1
+                total_moved += 1
         if moved == 0:
             break
     return VertexPartition(k, assignment,

@@ -1,4 +1,4 @@
-"""Cross-module contract rules (RL101–RL105).
+"""Cross-module contract rules (RL101–RL106).
 
 These rules extract facts from several modules at once — the partitioner
 registry, the experiment registry, the orchestrator's job planner, the
@@ -44,6 +44,26 @@ def _literal_str_dict(module: Module, name: str):
         for key, val in zip(value.keys, value.values):
             if isinstance(key, ast.Constant) and isinstance(key.value, str):
                 out[key.value] = (val, key.lineno)
+        return out
+    return None
+
+
+def _literal_str_tuple(module: Module, name: str):
+    """``name = ("a", "b", ...)`` at top level → {value: line}, else None."""
+    for node in module.tree.body:
+        if not (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == name
+                        for t in node.targets)):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return None
+        out = {}
+        for element in value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None  # dynamically built — don't guess
+            out[element.value] = element.lineno
         return out
     return None
 
@@ -429,3 +449,95 @@ class PublicApiReexport(Rule):
                         f"repro/__init__ imports {name!r} from "
                         f"{node.module} but __all__ does not list it",
                         str(module.path), node.lineno)
+
+
+#: The dotted package prefix RL106 polices.
+_SERVICE_SCOPE = ("repro", "service")
+#: RNG constructors the service must import from ``repro.rng``.
+_SERVICE_RNG_NAMES = frozenset({"make_rng", "derive_rng"})
+
+
+@register
+class ServiceSpanRegistry(Rule):
+    """RL106 — the online service stays seeded and its spans registered.
+
+    ``repro/service/__init__.py`` declares ``SPAN_NAMES``, the closed
+    registry of telemetry span names the service may emit.  Two-way
+    check: every literal ``tracer.begin``/``tracer.point`` name inside
+    ``repro.service`` must be a ``service.``-prefixed member of the
+    registry (an unregistered span silently escapes the trace tooling),
+    and every registry entry must actually be emitted somewhere (a
+    dangling entry documents telemetry that does not exist).  In the
+    same scope, any call to ``make_rng``/``derive_rng`` must resolve to
+    an import from ``repro.rng`` — a locally-defined shadow would let
+    unseeded randomness into the seed-deterministic service loop.
+    """
+
+    code = "RL106"
+    name = "service-span-registry"
+    summary = ("repro.service span literals must be registered in "
+               "SPAN_NAMES and rng constructors imported from repro.rng")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        init = project.find(*_SERVICE_SCOPE)
+        if init is None or init.package_parts != _SERVICE_SCOPE:
+            return  # no service package in the linted set
+        registry = _literal_str_tuple(init, "SPAN_NAMES")
+        if registry is None:
+            yield Finding(
+                self.code,
+                "repro/service/__init__.py must declare SPAN_NAMES as a "
+                "literal tuple of span-name strings",
+                str(init.path), 1)
+            return
+
+        emitted: set = set()
+        for module in project.package_modules():
+            if not module.package_startswith(_SERVICE_SCOPE):
+                continue
+            yield from self._check_module(module, registry, emitted)
+
+        for name in sorted(set(registry) - emitted):
+            yield Finding(
+                self.code,
+                f"SPAN_NAMES registers {name!r} but no tracer.begin/point "
+                f"call in repro.service emits it",
+                str(init.path), registry[name])
+
+    def _check_module(self, module: Module, registry: dict,
+                      emitted: set) -> Iterator[Finding]:
+        rng_imports: set = set()
+        for node in module.tree.body:
+            if (isinstance(node, ast.ImportFrom)
+                    and node.module == "repro.rng"):
+                rng_imports.update(alias.asname or alias.name
+                                   for alias in node.names)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("begin", "point")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                name = node.args[0].value
+                emitted.add(name)
+                if not name.startswith("service."):
+                    yield module.finding(
+                        self.code,
+                        f"span {name!r} emitted in repro.service must use "
+                        f"the 'service.' prefix", node.args[0])
+                elif name not in registry:
+                    yield module.finding(
+                        self.code,
+                        f"span {name!r} is not registered in "
+                        f"repro/service/__init__.py SPAN_NAMES",
+                        node.args[0])
+            elif (isinstance(func, ast.Name)
+                    and func.id in _SERVICE_RNG_NAMES
+                    and func.id not in rng_imports):
+                yield module.finding(
+                    self.code,
+                    f"{func.id}() in repro.service must be imported from "
+                    f"repro.rng (seed-deterministic service loop)", func)

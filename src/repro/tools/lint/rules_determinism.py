@@ -21,6 +21,7 @@ SIMULATED_TIME_SCOPES = (
     ("repro", "database"),
     ("repro", "partitioning"),
     ("repro", "faults"),
+    ("repro", "service"),
     ("repro", "telemetry", "tracer"),
 )
 
@@ -29,6 +30,7 @@ DECISION_SCOPES = (
     ("repro", "partitioning"),
     ("repro", "analytics"),
     ("repro", "database"),
+    ("repro", "service"),
 )
 
 #: The only module allowed to construct numpy generators (RL001/RL002).

@@ -6,12 +6,15 @@ import pytest
 from repro.database import (
     GraphMutationLog,
     WorkloadGenerator,
+    delete_edge_plan,
     insert_edge_plan,
     mixed_read_write_bindings,
     plan_query,
+    remove_vertex_plan,
     simulate_workload,
     update_vertex_plan,
 )
+from repro.database.mutations import MUTATION_KINDS
 from repro.errors import ConfigurationError
 from repro.partitioning import HashVertexPartitioner, LdgPartitioner
 
@@ -45,6 +48,39 @@ class TestMutationPlans:
             insert_edge_plan(tiny_graph, 0, 99)
         with pytest.raises(ConfigurationError):
             update_vertex_plan(tiny_graph, -1)
+        with pytest.raises(ConfigurationError):
+            delete_edge_plan(tiny_graph, 99, 0)
+        with pytest.raises(ConfigurationError):
+            remove_vertex_plan(tiny_graph, -1)
+
+    def test_delete_edge_mirrors_insert(self, tiny_graph):
+        plan = delete_edge_plan(tiny_graph, 0, 3)
+        assert plan.kind == "delete_edge"
+        assert sorted(plan.phases[0].tolist()) == [0, 3]
+        assert plan.total_reads == insert_edge_plan(tiny_graph, 0,
+                                                    3).total_reads
+
+    def test_remove_vertex_cascades_to_neighbors(self, tiny_graph):
+        vertex = int(tiny_graph.src[0])
+        plan = remove_vertex_plan(tiny_graph, vertex)
+        assert plan.kind == "remove_vertex"
+        assert plan.phases[0].tolist() == [vertex]
+        neighbors = set(np.unique(tiny_graph.neighbors(vertex)).tolist())
+        neighbors.discard(vertex)
+        if neighbors:
+            assert set(plan.phases[1].tolist()) == neighbors
+
+    def test_all_kinds_dispatchable(self, tiny_graph):
+        assert plan_query(tiny_graph, "delete_edge", 0,
+                          target_vertex=3).kind == "delete_edge"
+        assert plan_query(tiny_graph, "remove_vertex", 0).kind == \
+            "remove_vertex"
+        with pytest.raises(ConfigurationError):
+            plan_query(tiny_graph, "delete_edge", 0)  # needs a target
+        for kind in MUTATION_KINDS:
+            target = 1 if kind in ("insert_edge", "delete_edge") else None
+            assert plan_query(tiny_graph, kind, 0,
+                              target_vertex=target).kind == kind
 
 
 class TestMutationLog:
@@ -65,6 +101,56 @@ class TestMutationLog:
         log = GraphMutationLog(tiny_graph)
         with pytest.raises(ConfigurationError):
             log.insert_edge(0, 100)
+        with pytest.raises(ConfigurationError):
+            log.delete_edge(-1, 0)
+        with pytest.raises(ConfigurationError):
+            log.remove_vertex(100)
+
+    def test_delete_kills_base_edge(self, tiny_graph):
+        u, v = int(tiny_graph.src[0]), int(tiny_graph.dst[0])
+        log = GraphMutationLog(tiny_graph)
+        log.delete_edge(u, v)
+        shrunk = log.materialize()
+        assert (u, v) not in set(shrunk.edges())
+        assert shrunk.num_vertices == tiny_graph.num_vertices
+        assert log.num_deletes == 1
+
+    def test_delete_then_reinsert_round_trips(self, tiny_graph):
+        u, v = int(tiny_graph.src[0]), int(tiny_graph.dst[0])
+        log = GraphMutationLog(tiny_graph)
+        log.delete_edge(u, v)
+        log.insert_edge(u, v)
+        graph = log.materialize()
+        # The reinserted edge was created *after* the delete, so it lives.
+        assert (u, v) in set(graph.edges())
+
+    def test_insert_then_delete_dies(self, tiny_graph):
+        log = GraphMutationLog(tiny_graph)
+        log.insert_edge(0, 5)
+        log.delete_edge(0, 5)
+        assert (0, 5) not in set(log.materialize().edges())
+
+    def test_add_vertex_grows_id_space(self, tiny_graph):
+        log = GraphMutationLog(tiny_graph)
+        new = log.add_vertex()
+        assert new == tiny_graph.num_vertices
+        log.insert_edge(new, 0)
+        grown = log.materialize()
+        assert grown.num_vertices == tiny_graph.num_vertices + 1
+        assert (new, 0) in set(grown.edges())
+
+    def test_remove_vertex_leaves_tombstone(self, tiny_graph):
+        vertex = int(tiny_graph.src[0])
+        log = GraphMutationLog(tiny_graph)
+        log.remove_vertex(vertex)
+        graph = log.materialize()
+        # Id space is unchanged (ids are never recycled) but every
+        # incident edge is gone.
+        assert graph.num_vertices == tiny_graph.num_vertices
+        assert graph.degree[vertex] == 0
+        # Edges logged after the removal survive.
+        log.insert_edge(vertex, 0)
+        assert log.materialize().degree[vertex] > 0
 
 
 class TestMixedWorkload:

@@ -148,3 +148,71 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             ClosedLoopSimulation(graph, partition.assignment, 8,
                                  clients_per_worker=0)
+
+
+class TestMigrationHooks:
+    """The service-loop extensions: background work + double-homed waits."""
+
+    def test_absent_migration_params_are_noops(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8,
+                                   clients_per_worker=2)
+        plain = sim.run(bindings, duration=0.4)
+        hooked = sim.run(bindings, duration=0.4, background_work=None,
+                         migrating_vertices=None,
+                         migration_wait_seconds=0.0)
+        assert np.array_equal(plain.latencies, hooked.latencies)
+        assert plain.completed_queries == hooked.completed_queries
+        # The plain registry layout is unchanged: no migration counters.
+        assert plain.metrics.value("db.migration.waits", -1.0) == -1.0
+        assert plain.metrics.value("db.migration.busy_seconds", -1.0) == -1.0
+
+    def test_empty_migrating_set_is_noop(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8,
+                                   clients_per_worker=2)
+        plain = sim.run(bindings, duration=0.4)
+        hooked = sim.run(bindings, duration=0.4,
+                         migrating_vertices=np.array([], dtype=np.int64))
+        assert np.array_equal(plain.latencies, hooked.latencies)
+
+    def test_background_work_occupies_workers(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8,
+                                   clients_per_worker=2)
+        plain = sim.run(bindings, duration=0.4)
+        work = [(0.05, w, 0.05) for w in range(8)]
+        loaded = sim.run(bindings, duration=0.4, background_work=work)
+        assert loaded.metrics.value("db.migration.busy_seconds") == \
+            pytest.approx(8 * 0.05)
+        stats = [worker.stats for worker in sim.cluster.workers]
+        assert sum(s.migration_batches for s in stats) == 8
+        assert sum(s.migration_seconds for s in stats) == pytest.approx(0.4)
+        # Stealing worker time can only hurt query latency, never help.
+        assert loaded.latency().mean >= plain.latency().mean
+
+    def test_migrating_vertices_pay_the_wait(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8,
+                                   clients_per_worker=2)
+        moving = np.array(sorted({b.start_vertex for b in bindings}),
+                          dtype=np.int64)
+        run = sim.run(bindings, duration=0.4, migrating_vertices=moving,
+                      migration_wait_seconds=2e-3)
+        assert run.metrics.value("db.migration.waits") > 0
+        # Every query starts at a double-homed vertex: latency includes
+        # at least the handshake wait.
+        assert run.latencies.min() >= 2e-3
+
+    def test_background_work_validated(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        sim = ClosedLoopSimulation(graph, partition.assignment, 8,
+                                   clients_per_worker=2)
+        with pytest.raises(ConfigurationError):
+            sim.run(bindings, duration=0.4,
+                    background_work=[(-0.1, 0, 0.01)])
+        with pytest.raises(ConfigurationError):
+            sim.run(bindings, duration=0.4,
+                    background_work=[(0.1, 99, 0.01)])
+        with pytest.raises(ConfigurationError):
+            sim.run(bindings, duration=0.4, migration_wait_seconds=-1.0)

@@ -138,3 +138,70 @@ def test_property_engine_conserves_pagerank(graph, k):
     workload = PageRank(num_iterations=5)
     run_workload(graph, vp, workload)
     assert workload.result().sum() == pytest.approx(1.0, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# hermes_refine: the balance/budget invariants the online service leans on
+# ----------------------------------------------------------------------
+def _count_cut(graph, assignment):
+    return int((assignment[graph.src] != assignment[graph.dst]).sum())
+
+
+@given(graph=graphs(), k=st.integers(min_value=2, max_value=6),
+       slack=st.floats(min_value=1.0, max_value=1.5),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@_SETTINGS
+def test_property_hermes_refine_invariants(graph, k, slack, seed):
+    """Refinement never worsens the cut nor overfills a partition.
+
+    Capacity: a partition never *grows past* ``slack * n/k`` — a
+    partition already over capacity in the input can only shrink or
+    stay, never gain vertices.
+    """
+    from repro.partitioning import LdgPartitioner, hermes_refine
+
+    before = LdgPartitioner(seed=3).partition(graph, k, order="natural",
+                                              seed=3)
+    after = hermes_refine(graph, before, balance_slack=slack, seed=seed)
+    assert after.is_complete()
+    assert after.num_vertices == graph.num_vertices
+    cut_before = _count_cut(graph, before.assignment)
+    cut_after = _count_cut(graph, after.assignment)
+    assert cut_after <= cut_before
+    capacity = max(1.0, slack * graph.num_vertices / k)
+    limit = np.maximum(before.sizes(), np.floor(capacity))
+    assert np.all(after.sizes() <= limit)
+    # The input is never modified in place.
+    assert _count_cut(graph, before.assignment) == cut_before
+
+
+@given(graph=graphs(), k=st.integers(min_value=2, max_value=6),
+       budget=st.integers(min_value=0, max_value=8),
+       seed=st.integers(min_value=0, max_value=2**31 - 1))
+@_SETTINGS
+def test_property_hermes_refine_budget(graph, k, budget, seed):
+    """``max_moves`` bounds the vertices whose assignment changes."""
+    from repro.partitioning import LdgPartitioner, hermes_refine
+
+    before = LdgPartitioner(seed=3).partition(graph, k, order="natural",
+                                              seed=3)
+    after = hermes_refine(graph, before, max_moves=budget, seed=seed)
+    moved = int((after.assignment != before.assignment).sum())
+    assert moved <= budget
+    assert _count_cut(graph, after.assignment) <= \
+        _count_cut(graph, before.assignment)
+
+
+@given(graph=graphs(), k=st.integers(min_value=2, max_value=4))
+@_SETTINGS
+def test_property_hermes_refine_rejects_mismatched_graph(graph, k):
+    """A partition built for a different materialisation is refused."""
+    from repro.errors import PartitioningError
+    from repro.graph import Graph
+    from repro.partitioning import LdgPartitioner, hermes_refine
+
+    partition = LdgPartitioner(seed=3).partition(graph, k, order="natural",
+                                                 seed=3)
+    bigger = Graph(graph.num_vertices + 1, graph.src, graph.dst)
+    with pytest.raises(PartitioningError):
+        hermes_refine(bigger, partition, seed=0)

@@ -23,6 +23,7 @@ PUBLIC_MODULES = (
     "repro.orchestrator",
     "repro.partitioning",
     "repro.partitioning.kernels",
+    "repro.service",
     "repro.telemetry",
     "repro.tools.lint",
 )

@@ -57,7 +57,7 @@ class TestRealTree:
         assert codes == sorted(codes)
         assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
                          "RL006", "RL101", "RL102", "RL103", "RL104",
-                         "RL105"]
+                         "RL105", "RL106"]
         assert all(rule.summary for rule in all_rules())
 
 
@@ -475,6 +475,69 @@ class TestOtherContracts:
         })
         finding = single(findings, "RL105")
         assert "'ConfigurationError'" in finding.message
+
+    def test_rl106_unregistered_span(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/service/__init__.py":
+                "SPAN_NAMES = ('service.run',)\n",
+            "repro/service/core.py":
+                "def run(tracer):\n"
+                "    tracer.begin('service.run', 0.0)\n"
+                "    tracer.point('service.rogue', 1.0)\n",
+        })
+        finding = single(findings, "RL106")
+        assert "'service.rogue'" in finding.message
+        assert finding.path.endswith("service/core.py")
+
+    def test_rl106_wrong_prefix(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/service/__init__.py":
+                "SPAN_NAMES = ('service.run',)\n",
+            "repro/service/core.py":
+                "def run(tracer):\n"
+                "    tracer.begin('service.run', 0.0)\n"
+                "    tracer.point('db.sneaky', 1.0)\n",
+        })
+        finding = single(findings, "RL106")
+        assert "'service.' prefix" in finding.message
+
+    def test_rl106_dangling_registry_entry(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/service/__init__.py":
+                "SPAN_NAMES = ('service.run', 'service.ghost')\n",
+            "repro/service/core.py":
+                "def run(tracer):\n"
+                "    tracer.begin('service.run', 0.0)\n",
+        })
+        finding = single(findings, "RL106")
+        assert "'service.ghost'" in finding.message
+        assert finding.path.endswith("service/__init__.py")
+
+    def test_rl106_local_rng_shadow(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/service/__init__.py":
+                "SPAN_NAMES = ()\n",
+            "repro/service/traffic.py":
+                "def make_rng(seed):\n"
+                "    return None\n"
+                "def draw(seed):\n"
+                "    return make_rng(seed)\n",
+        })
+        finding = single(findings, "RL106")
+        assert "repro.rng" in finding.message
+
+    def test_rl106_clean_service_fixture(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/service/__init__.py":
+                "SPAN_NAMES = ('service.run',)\n",
+            "repro/service/core.py":
+                "from repro.rng import make_rng\n"
+                "def run(tracer, seed):\n"
+                "    rng = make_rng(seed)\n"
+                "    tracer.begin('service.run', 0.0)\n"
+                "    return rng\n",
+        })
+        assert [f.code for f in findings] == []
 
 
 # ----------------------------------------------------------------------
