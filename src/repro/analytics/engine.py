@@ -68,7 +68,8 @@ class GasEngine:
     def run(self, graph: Graph, placement: Placement,
             workload: Workload, *,
             fault_schedule: FaultSchedule | None = None,
-            checkpoint_interval: int = 4) -> AnalyticsRun:
+            checkpoint_interval: int = 4,
+            sampler=None) -> AnalyticsRun:
         """Execute *workload* over *placement* and return the full trace.
 
         Parameters
@@ -85,6 +86,13 @@ class GasEngine:
         checkpoint_interval:
             Write a coordinated checkpoint every this many supersteps
             (only when a fault schedule is active).
+        sampler:
+            Optional :class:`~repro.telemetry.timeseries.TimeSeriesSampler`;
+            rebound to the run's registry and sampled once per superstep
+            at the simulated clock (after any recovery/checkpoint time),
+            turning gather/mirror traffic and recovery cost into
+            per-superstep series.  Disabled/absent samplers add zero
+            registry calls.
         """
         if placement.graph is not graph:
             raise SimulationError("placement was built for a different graph")
@@ -116,6 +124,9 @@ class GasEngine:
         m_ckpt_secs = metrics.counter("gas.checkpoint_seconds_total")
         tracer = self.tracer if self.tracer is not None else get_tracer()
         tracing = tracer.enabled
+        sampling = sampler is not None and sampler.enabled
+        if sampling:
+            sampler.registry = metrics
         #: Simulated wall clock: superstep windows decide which crash
         #: onsets strike which superstep, and give spans their timestamps.
         clock = SimClock()
@@ -260,6 +271,10 @@ class GasEngine:
                     m_ckpts.inc()
                     m_ckpt_secs.inc(self.cost_model.checkpoint_seconds)
                     last_checkpoint_step = step + 1
+            if sampling:
+                # One sample per superstep, stamped after recovery and
+                # checkpoint time so the series aligns with the spans.
+                sampler.sample(clock.now, index=step)
         metrics.histogram("gas.machine.compute_seconds").observe_many(
             run.compute_seconds_per_machine())
         if tracing:
@@ -326,9 +341,11 @@ class GasEngine:
 def run_workload(graph: Graph, partition, workload: Workload, *,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  fault_schedule: FaultSchedule | None = None,
-                 checkpoint_interval: int = 4) -> AnalyticsRun:
+                 checkpoint_interval: int = 4,
+                 sampler=None) -> AnalyticsRun:
     """One-shot convenience: build the placement and run the workload."""
     placement = Placement(graph, partition)
     return GasEngine(cost_model).run(graph, placement, workload,
                                      fault_schedule=fault_schedule,
-                                     checkpoint_interval=checkpoint_interval)
+                                     checkpoint_interval=checkpoint_interval,
+                                     sampler=sampler)

@@ -273,7 +273,9 @@ class ClosedLoopSimulation:
             warmup_fraction: float = 0.25,
             background_work=None,
             migrating_vertices=None,
-            migration_wait_seconds: float = 0.0) -> SimulationResult:
+            migration_wait_seconds: float = 0.0,
+            sampler=None,
+            sample_interval: float | None = None) -> SimulationResult:
         """Simulate *duration* seconds of closed-loop load.
 
         Clients cycle through *bindings* at staggered offsets, so every
@@ -294,6 +296,14 @@ class ClosedLoopSimulation:
           mid-move; a query *starting* at one of them first waits
           ``migration_wait_seconds`` (the ownership-handshake retry) —
           counted in ``db.migration.waits``.
+
+        ``sampler`` — an optional
+        :class:`~repro.telemetry.timeseries.TimeSeriesSampler`; the run
+        rebinds it to its own registry and snapshots it every
+        ``sample_interval`` simulated seconds (default ``duration / 10``)
+        plus once at the horizon, turning the run into a latency/
+        throughput trajectory instead of one end-of-run aggregate.  A
+        disabled (or absent) sampler adds zero registry calls.
         """
         if not bindings:
             raise ConfigurationError("bindings must be non-empty")
@@ -346,6 +356,17 @@ class ClosedLoopSimulation:
             if migrating is not None else None
         c_migration_busy = metrics.counter("db.migration.busy_seconds") \
             if background_work else None
+        # Time-series sampling: tick the sampler at fixed simulated-time
+        # intervals inside the event loop.  Disabled/absent samplers cost
+        # nothing — not a single registry call.
+        sampling = sampler is not None and sampler.enabled
+        if sampling:
+            sampler.registry = metrics
+            tick = duration / 10.0 if sample_interval is None \
+                else float(sample_interval)
+            if tick <= 0:
+                raise ConfigurationError("sample_interval must be positive")
+            next_tick = tick
         root_span = tracer.begin(
             "db.run", 0.0, parent=None,
             num_workers=self.cluster.num_workers,
@@ -614,6 +635,10 @@ class ClosedLoopSimulation:
 
         while events:
             event = heapq.heappop(events)
+            if sampling:
+                while next_tick <= event.time and next_tick < duration:
+                    sampler.sample(next_tick)
+                    next_tick += tick
             if event.time > duration:
                 break
             if event.kind == "start":
@@ -637,6 +662,10 @@ class ClosedLoopSimulation:
             w.stats.vertices_read for w in workers)
         metrics.histogram("db.worker.busy_seconds").observe_many(
             w.stats.busy_seconds for w in workers)
+        if sampling:
+            # Horizon sample: the only one that sees the end-of-run
+            # histograms (latency quantiles, per-worker distributions).
+            sampler.sample(duration)
         if tracing:
             # Queries still in flight at the horizon close here so their
             # request/hop spans keep their parents in the export.
@@ -670,7 +699,9 @@ def simulate_workload(graph: Graph, partition, bindings, *,
                       fault_schedule: FaultSchedule | None = None,
                       retry_policy: RetryPolicy | None = None,
                       k_safety: int = 2,
-                      raise_on_failure: bool = False) -> SimulationResult:
+                      raise_on_failure: bool = False,
+                      sampler=None,
+                      sample_interval: float | None = None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ClosedLoopSimulation`."""
     assignment = getattr(partition, "assignment", partition)
     num_workers = getattr(partition, "num_partitions",
@@ -686,4 +717,5 @@ def simulate_workload(graph: Graph, partition, bindings, *,
         k_safety=k_safety,
         raise_on_failure=raise_on_failure,
     )
-    return sim.run(bindings, duration=duration)
+    return sim.run(bindings, duration=duration, sampler=sampler,
+                   sample_interval=sample_interval)

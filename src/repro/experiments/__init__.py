@@ -37,6 +37,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.online_service import online_service
 from repro.experiments.report import ExperimentReport, Table
+from repro.experiments.slo_ablation import slo_ablation
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.tables import table3, table4, table5
 
@@ -69,6 +70,7 @@ EXPERIMENTS = {
     "ablation-partitioning-cost": ablation_partitioning_cost,
     "ablation-sender-side-aggregation": ablation_sender_side_aggregation,
     "online-service": online_service,
+    "slo-ablation": slo_ablation,
 }
 
 __all__ = [
@@ -93,4 +95,5 @@ __all__ = [
     "ablation_partitioning_cost",
     "ablation_sender_side_aggregation",
     "online_service",
+    "slo_ablation",
 ]

@@ -44,6 +44,8 @@ examples:
   repro figure1 --trace t.jsonl     record a telemetry trace
   repro trace t.jsonl               profile a recorded trace
   repro lint src tests              check determinism/registry invariants
+  repro serve-sim                   run the online partitioning service
+  repro health --out artifacts/     SLO dashboard + OpenMetrics exports
 """
 
 
@@ -64,6 +66,11 @@ def main(argv=None) -> int:
         # `python -m repro serve-sim --help` lists the scenario knobs.
         from repro.service.cli import main as serve_main
         return serve_main(argv[1:])
+    if argv[:1] == ["health"]:
+        # The SLO health dashboard over a service run (docs/slo.md):
+        # sparklines, error-budget burn, alert log, export artifacts.
+        from repro.tools.health_cli import main as health_main
+        return health_main(argv[1:])
     if argv[:1] == ["run-all"]:
         return _run_all_command(argv[1:])
     if argv[:1] == ["cache"]:

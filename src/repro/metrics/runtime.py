@@ -33,6 +33,22 @@ class DistributionSummary:
     p99: float = 0.0
 
     @property
+    def p50(self) -> float:
+        """The median under its quantile name — what SLO thresholds and
+        the OpenMetrics summary quantiles speak."""
+        return self.median
+
+    @property
+    def min(self) -> float:
+        """Alias of :attr:`minimum` for quantile-style access."""
+        return self.minimum
+
+    @property
+    def max(self) -> float:
+        """Alias of :attr:`maximum` for quantile-style access."""
+        return self.maximum
+
+    @property
     def spread(self) -> float:
         """max - min: the visual height of the paper's box lines."""
         return self.maximum - self.minimum

@@ -344,4 +344,7 @@ _REQUIREMENTS = {
     "ablation-partitioning-cost": _req_ablation_twitter,
     "ablation-sender-side-aggregation": _req_ablation_sender_side,
     "online-service": _req_online_service,
+    # The SLO ablation is the same service loop under different policies;
+    # like online-service, only the base graph is a plannable artifact.
+    "slo-ablation": _req_online_service,
 }

@@ -37,6 +37,8 @@ from repro.errors import OrchestratorError
 from repro.experiments.datasets import active_scale
 from repro.orchestrator.cache import MISS, ArtifactCache
 from repro.orchestrator.dag import build_plan
+from repro.telemetry import get_metrics
+from repro.telemetry.timeseries import TimeSeriesSampler
 
 
 # ----------------------------------------------------------------------
@@ -203,12 +205,17 @@ class OrchestratorResult:
     wall_seconds: float = 0.0
     #: Snapshot of the cache's stats after the run (None when uncached).
     cache_stats: dict | None = None
+    #: One MetricSample per finished job (process-global registry: the
+    #: ``cache.*`` hit/miss counters plus the per-job wall histogram),
+    #: in completion order.  Empty when ``sample_metrics=False``.
+    metric_samples: list = field(default_factory=list)
 
 
 def run_experiments(names=None, *, scale: str | None = None, jobs: int = 1,
                     cache: ArtifactCache | str | bool | None = True,
                     fingerprint: str | None = None,
-                    progress=None) -> OrchestratorResult:
+                    progress=None,
+                    sample_metrics: bool = True) -> OrchestratorResult:
     """Run *names* (default: every experiment) through the job DAG.
 
     Parameters
@@ -223,6 +230,13 @@ def run_experiments(names=None, *, scale: str | None = None, jobs: int = 1,
         self-contained).
     progress:
         Optional ``callback(done, total, job_id)`` invoked as jobs finish.
+    sample_metrics:
+        Record one :class:`~repro.telemetry.timeseries.MetricSample` of
+        the process-global registry per finished job (cache hit/miss
+        series + the ``orchestrator.job.wall_seconds`` histogram) into
+        ``result.metric_samples``.  Times are wall-clock seconds since
+        run start — the orchestrator lives outside simulated time, and
+        its samples never enter any digest.
     """
     from repro.experiments import EXPERIMENTS
 
@@ -267,15 +281,34 @@ def run_experiments(names=None, *, scale: str | None = None, jobs: int = 1,
         for job in order
     }
 
+    sampler = TimeSeriesSampler(get_metrics(), enabled=sample_metrics)
+    if sample_metrics:
+        job_hist = get_metrics().histogram("orchestrator.job.wall_seconds")
+        last_tick = [0.0]
+
+        def observe_job(job_wall: float) -> None:
+            job_hist.observe(job_wall)
+            # Wall clocks may repeat at coarse resolution; clamp to keep
+            # the series monotone for the sampler's ordering contract.
+            tick = max(time.time() - started, last_tick[0])
+            last_tick[0] = tick
+            sampler.sample(tick)
+    else:
+        observe_job = None
+
     outputs: dict[str, tuple] = {}
     if jobs <= 1 or len(order) <= 1:
         for index, job in enumerate(order):
+            job_started = time.time()
             job_id, digest, report = _execute_job(tasks[job.job_id])
             outputs[job_id] = (digest, report)
+            if observe_job is not None:
+                observe_job(time.time() - job_started)
             if progress is not None:
                 progress(index + 1, len(order), job_id)
     else:
-        outputs = _run_parallel(plan, order, tasks, jobs, progress)
+        outputs = _run_parallel(plan, order, tasks, jobs, progress,
+                                observe_job)
 
     for job in order:
         result.executed[job.kind] = result.executed.get(job.kind, 0) + 1
@@ -300,6 +333,7 @@ def run_experiments(names=None, *, scale: str | None = None, jobs: int = 1,
         result.digests[name] = digest
 
     result.wall_seconds = round(time.time() - started, 3)
+    result.metric_samples = sampler.samples
     if store is not None:
         result.cache_stats = store.stats()
     return result
@@ -325,9 +359,15 @@ def _prune_plan(plan, pending_names):
     return plan
 
 
-def _run_parallel(plan, order, tasks, jobs, progress):
-    """Ready-set scheduling over a process pool."""
+def _run_parallel(plan, order, tasks, jobs, progress, observe_job=None):
+    """Ready-set scheduling over a process pool.
+
+    ``observe_job`` (when sampling) receives each job's submit-to-finish
+    wall seconds — queue wait included, since that is what the pool's
+    critical path actually pays.
+    """
     outputs: dict[str, tuple] = {}
+    submit_times: dict[str, float] = {}
     remaining = {job.job_id: set(job.deps) for job in order}
     dependents: dict[str, list] = {}
     for job in order:
@@ -344,6 +384,7 @@ def _run_parallel(plan, order, tasks, jobs, progress):
                            if not deps)
             for job_id in ready:
                 del remaining[job_id]
+                submit_times[job_id] = time.time()
                 futures[pool.submit(_execute_job, tasks[job_id])] = job_id
 
         submit_ready()
@@ -358,6 +399,8 @@ def _run_parallel(plan, order, tasks, jobs, progress):
                         f"job {job_id} failed: {exc}") from exc
                 outputs[finished_id] = (digest, report)
                 completed += 1
+                if observe_job is not None:
+                    observe_job(time.time() - submit_times[finished_id])
                 if progress is not None:
                     progress(completed, total, finished_id)
                 for dependent in dependents.get(finished_id, ()):

@@ -68,6 +68,23 @@ class ServiceConfig:
         Optional global :class:`~repro.faults.FaultSchedule`; each epoch
         sees its window, so worker failures and drift-triggered migration
         compose in one run.
+    slo_sampling:
+        Sample the service registry into per-epoch
+        :class:`~repro.telemetry.timeseries.MetricSample` records and
+        evaluate SLO burn rates over them (``docs/slo.md``).  Sampling
+        never enters :meth:`~repro.service.core.ServiceResult.timeline`
+        — digests are identical with it on or off.  ``False`` restores
+        the zero-overhead contract: no extra registry calls at all.
+    slos:
+        The objectives to evaluate; ``None`` means
+        :func:`~repro.telemetry.slo.default_service_slos`.
+    slo_degradation:
+        Feed page alerts back into admission control: while any SLO
+        pages, the next epoch's mutation queue bound is multiplied by
+        ``degraded_queue_fraction``.  Default **off** — turning it on
+        changes shed counts and therefore the digest.
+    degraded_queue_fraction:
+        The admission multiplier applied while paging (in ``(0, 1]``).
     """
 
     num_partitions: int = 8
@@ -102,6 +119,11 @@ class ServiceConfig:
     # Fault composition.
     k_safety: int = 2
     fault_schedule: FaultSchedule | None = None
+    # Observability (docs/slo.md).
+    slo_sampling: bool = True
+    slos: tuple | None = None
+    slo_degradation: bool = False
+    degraded_queue_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -151,6 +173,16 @@ class ServiceConfig:
             raise ConfigurationError("read_queue_bound must be >= 1")
         if self.k_safety < 1:
             raise ConfigurationError("k_safety must be >= 1")
+        if self.slo_degradation and not self.slo_sampling:
+            raise ConfigurationError(
+                "slo_degradation needs slo_sampling=True — the hook is "
+                "driven by the sampled burn rates")
+        if not 0.0 < self.degraded_queue_fraction <= 1.0:
+            raise ConfigurationError(
+                "degraded_queue_fraction must lie in (0, 1]")
+        if self.slos is not None and len(self.slos) == 0:
+            raise ConfigurationError(
+                "slos must be None (defaults) or a non-empty tuple")
 
     @property
     def update_fraction(self) -> float:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -50,6 +50,8 @@ from repro.service.migration import (
 from repro.service.traffic import Mutation, TrafficModel
 from repro.telemetry import get_tracer
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import AlertEvent, SloEvaluator, default_service_slos
+from repro.telemetry.timeseries import MetricSample, TimeSeriesSampler
 
 
 @dataclass(frozen=True)
@@ -76,7 +78,13 @@ class EpochRecord:
 
 @dataclass
 class ServiceResult:
-    """Everything one service run produced, digestable for regression."""
+    """Everything one service run produced, digestable for regression.
+
+    The observability surfaces (``samples``/``alerts``/``slo_status``)
+    are deliberately **not** part of :meth:`timeline` — :meth:`digest`
+    stays byte-identical whether sampling is on or off; they get their
+    own canonical view (:meth:`observability`) and digest.
+    """
 
     drift: list[DriftSample]
     migrations: list[MigrationEvent]
@@ -85,6 +93,9 @@ class ServiceResult:
     shed_reads: int
     final_assignment: np.ndarray
     metrics: MetricsRegistry
+    samples: list[MetricSample] = field(default_factory=list)
+    alerts: list[AlertEvent] = field(default_factory=list)
+    slo_status: dict | None = None
 
     @property
     def total_completed_queries(self) -> int:
@@ -114,6 +125,22 @@ class ServiceResult:
     def digest(self) -> str:
         """Stable hash over the full timeline — byte-identical per seed."""
         payload = json.dumps(self.timeline(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def observability(self) -> dict:
+        """Canonical JSON-ready view of the sampled series, the alert
+        log and the SLO budget state (empty when sampling was off)."""
+        return {
+            "samples": [s.to_dict() for s in self.samples],
+            "alerts": [a.to_dict() for a in self.alerts],
+            "slo": self.slo_status,
+        }
+
+    def observability_digest(self) -> str:
+        """Stable hash over :meth:`observability` — the export-identity
+        contract for same-seed runs."""
+        payload = json.dumps(self.observability(), sort_keys=True,
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -192,6 +219,20 @@ class PartitionedGraphService:
         c_completed = metrics.counter("service.queries.completed")
         c_failed = metrics.counter("service.queries.failed")
 
+        # Observability: sample the registry once per epoch and burn the
+        # SLO budgets over the series.  With sampling off neither object
+        # ever touches the registry (the zero-overhead contract), and
+        # nothing here enters timeline()/digest() either way.
+        sampling = config.slo_sampling
+        sampler = TimeSeriesSampler(metrics, enabled=sampling)
+        evaluator: SloEvaluator | None = None
+        if sampling:
+            evaluator = SloEvaluator(
+                config.slos if config.slos is not None
+                else default_service_slos(),
+                horizon=config.epochs)
+        alerts: list[AlertEvent] = []
+
         root = tracer.begin(
             "service.run", 0.0, parent=None,
             num_partitions=config.num_partitions,
@@ -214,12 +255,18 @@ class PartitionedGraphService:
             traffic = self._traffic.epoch_traffic(graph, epoch)
 
             # --- Admission control: bounded write queue, writes shed
-            # --- before reads, everything shed is counted.
+            # --- before reads, everything shed is counted.  While any
+            # --- SLO pages (and the hook is on), the bound tightens.
+            queue_bound = config.mutation_queue_bound
+            if (config.slo_degradation and evaluator is not None
+                    and evaluator.paging()):
+                queue_bound = int(queue_bound
+                                  * config.degraded_queue_fraction)
             queue = pending + list(traffic.mutations)
             shed_writes = 0
-            if len(queue) > config.mutation_queue_bound:
-                shed_writes = len(queue) - config.mutation_queue_bound
-                queue = queue[:config.mutation_queue_bound]
+            if len(queue) > queue_bound:
+                shed_writes = len(queue) - queue_bound
+                queue = queue[:queue_bound]
                 c_shed_writes.inc(shed_writes)
             bindings = list(traffic.bindings)
             shed_reads = 0
@@ -230,7 +277,7 @@ class PartitionedGraphService:
             if tracing and (shed_writes or shed_reads):
                 tracer.point("service.shed", t0, parent=epoch_span,
                              writes=shed_writes, reads=shed_reads,
-                             queue_bound=config.mutation_queue_bound)
+                             queue_bound=queue_bound)
 
             # --- Apply up to the service rate from the queue head.
             apply_now = queue[:config.mutation_service_rate]
@@ -342,6 +389,39 @@ class PartitionedGraphService:
                 p99_latency_ms=latency.p99 * 1e3,
                 num_vertices=graph.num_vertices,
                 num_edges=graph.num_edges))
+
+            if sampling:
+                record = epoch_records[-1]
+                gauge = metrics.gauge
+                gauge("service.epoch.offered_mutations").set(
+                    record.offered_mutations)
+                gauge("service.epoch.applied_mutations").set(
+                    record.applied_mutations)
+                gauge("service.epoch.pending_mutations").set(
+                    record.pending_mutations)
+                gauge("service.epoch.shed_writes").set(record.shed_writes)
+                gauge("service.epoch.shed_reads").set(record.shed_reads)
+                gauge("service.epoch.completed_queries").set(
+                    record.completed_queries)
+                gauge("service.epoch.failed_queries").set(
+                    record.failed_queries)
+                gauge("service.epoch.timeouts").set(record.timeouts)
+                gauge("service.epoch.retries").set(record.retries)
+                gauge("service.epoch.migration_waits").set(
+                    record.migration_waits)
+                gauge("service.epoch.mean_latency_ms").set(
+                    record.mean_latency_ms)
+                gauge("service.epoch.p99_latency_ms").set(
+                    record.p99_latency_ms)
+                gauge("service.epoch.drift").set(sample.drift)
+                gauge("service.epoch.edge_cut").set(sample.edge_cut)
+                gauge("service.epoch.imbalance").set(sample.imbalance)
+                gauge("service.epoch.num_vertices").set(record.num_vertices)
+                gauge("service.epoch.num_edges").set(record.num_edges)
+                metric_sample = sampler.sample(t1, index=epoch)
+                assert metric_sample is not None and evaluator is not None
+                alerts.extend(evaluator.observe(metric_sample))
+
             if tracing:
                 tracer.end(epoch_span, t1,
                            completed=outcome.completed_queries,
@@ -358,4 +438,8 @@ class PartitionedGraphService:
             shed_writes=int(c_shed_writes.value),
             shed_reads=int(c_shed_reads.value),
             final_assignment=self._incr.assignment.copy(),
-            metrics=metrics)
+            metrics=metrics,
+            samples=sampler.samples,
+            alerts=alerts,
+            slo_status=evaluator.to_dict() if evaluator is not None
+            else None)

@@ -11,6 +11,13 @@ schema):
 * :mod:`~repro.telemetry.profile` — text flamegraph / hot-span reports
   over recorded traces (also the ``repro-trace`` CLI).
 
+On top of the registry sits the observability layer (``docs/slo.md``):
+:mod:`~repro.telemetry.timeseries` samples a registry into immutable
+per-epoch series, :mod:`~repro.telemetry.slo` evaluates error-budget /
+burn-rate SLOs over those series in simulated time, and
+:mod:`~repro.telemetry.export` renders canonical OpenMetrics/JSONL
+artifacts (the ``repro health`` dashboard's inputs).
+
 Telemetry is **disabled by default**: the global tracer exists but
 records nothing, and instrumented hot paths skip all tracer calls behind
 a single ``enabled`` check.  Enable it for a block of work with::
@@ -28,11 +35,18 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.telemetry.export import (
+    records_to_jsonl,
+    samples_to_jsonl,
+    to_openmetrics,
+)
 from repro.telemetry.metrics import (
+    METRIC_NAMES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    registered_metric_name,
 )
 from repro.telemetry.profile import (
     build_tree,
@@ -40,6 +54,17 @@ from repro.telemetry.profile import (
     render_flamegraph,
     render_hot_spans,
     trace_summary,
+)
+from repro.telemetry.slo import (
+    AlertEvent,
+    Slo,
+    SloEvaluator,
+    default_service_slos,
+    evaluate_slos,
+)
+from repro.telemetry.timeseries import (
+    MetricSample,
+    TimeSeriesSampler,
 )
 from repro.telemetry.tracer import (
     SCHEMA_VERSION,
@@ -59,6 +84,18 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "METRIC_NAMES",
+    "registered_metric_name",
+    "MetricSample",
+    "TimeSeriesSampler",
+    "Slo",
+    "SloEvaluator",
+    "AlertEvent",
+    "default_service_slos",
+    "evaluate_slos",
+    "to_openmetrics",
+    "samples_to_jsonl",
+    "records_to_jsonl",
     "build_tree",
     "render_flamegraph",
     "render_hot_spans",

@@ -1,0 +1,131 @@
+"""Canonical wire formats for sampled metrics: OpenMetrics text + JSONL.
+
+Two surfaces over the :mod:`repro.telemetry.timeseries` samples:
+
+* :func:`to_openmetrics` — the OpenMetrics text exposition format
+  (``# TYPE`` metadata, ``_total``-suffixed counters, summary quantile
+  labels, terminating ``# EOF``) for one sample, so any Prometheus-
+  compatible toolchain can scrape a run's final state;
+* :func:`samples_to_jsonl` / :func:`records_to_jsonl` — one canonical
+  JSON object per line for whole series (samples, alert events), the
+  format the health dashboard and CI artifacts consume.
+
+Both formats are **canonical**: keys sorted, floats rendered by
+shortest-roundtrip ``repr`` (integral values as integers), timestamps in
+simulated seconds.  Two same-seed runs therefore produce byte-identical
+exports — asserted by ``tests/test_observability.py`` under an active
+fault schedule and a triggered migration.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Iterable, Mapping
+
+from repro.telemetry.timeseries import MetricSample
+
+#: Histogram-summary fields exported as OpenMetrics summary quantiles.
+#: min/max ride along as quantile 0 and 1 (both legal quantile values),
+#: so the whole snapshot survives the round trip.
+_QUANTILE_FIELDS = (
+    ("min", "0"),
+    ("p25", "0.25"),
+    ("p50", "0.5"),
+    ("median", "0.5"),
+    ("p75", "0.75"),
+    ("p95", "0.95"),
+    ("p99", "0.99"),
+    ("max", "1"),
+)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def openmetrics_name(name: str, *, prefix: str = "repro_") -> str:
+    """Map a dotted registry name onto the OpenMetrics grammar.
+
+    ``db.query.latency_seconds`` → ``repro_db_query_latency_seconds``.
+    """
+    flat = prefix + name.replace(".", "_").replace("-", "_")
+    if not _NAME_OK.match(flat):
+        raise ValueError(f"cannot express metric name {name!r} "
+                         f"in OpenMetrics ({flat!r})")
+    return flat
+
+
+def format_value(value: float) -> str:
+    """Canonical number rendering: integers bare, floats by ``repr``.
+
+    ``repr`` is shortest-roundtrip and deterministic for identical bits,
+    which is exactly the byte-identity contract the exports promise.
+    """
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_openmetrics(sample: MetricSample, *, prefix: str = "repro_") -> str:
+    """Render one sample as an OpenMetrics text exposition.
+
+    Counters become ``<name>_total`` counter families, gauges become
+    gauge families, histogram summaries become summary families with
+    quantile-labelled points plus ``_count``/``_sum`` (sum reconstructed
+    as ``mean * count``).  Every point is stamped with the sample's
+    simulated time.  The exposition terminates with ``# EOF`` per spec.
+    """
+    stamp = format_value(sample.time)
+    lines: list[str] = []
+    for name in sorted(sample.counters):
+        flat = openmetrics_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} counter")
+        lines.append(
+            f"{flat}_total {format_value(sample.counters[name])} {stamp}")
+    for name in sorted(sample.gauges):
+        flat = openmetrics_name(name, prefix=prefix)
+        lines.append(f"# TYPE {flat} gauge")
+        lines.append(f"{flat} {format_value(sample.gauges[name])} {stamp}")
+    for name in sorted(sample.histograms):
+        flat = openmetrics_name(name, prefix=prefix)
+        summary = sample.histograms[name]
+        lines.append(f"# TYPE {flat} summary")
+        seen: set[str] = set()
+        for field, quantile in _QUANTILE_FIELDS:
+            if field not in summary or quantile in seen:
+                continue
+            seen.add(quantile)
+            lines.append(f"{flat}{{quantile=\"{quantile}\"}} "
+                         f"{format_value(summary[field])} {stamp}")
+        count = summary.get("count", 0.0)
+        total = summary.get("mean", 0.0) * count
+        lines.append(f"{flat}_count {format_value(count)} {stamp}")
+        lines.append(f"{flat}_sum {format_value(total)} {stamp}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _canonical_json(record: Mapping) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def records_to_jsonl(records: Iterable) -> str:
+    """One canonical JSON object per line; accepts dicts or objects
+    exposing ``to_dict()`` (samples, alert events, SLO statuses)."""
+    lines = []
+    for record in records:
+        if hasattr(record, "to_dict"):
+            record = record.to_dict()
+        lines.append(_canonical_json(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def samples_to_jsonl(samples: Iterable[MetricSample]) -> str:
+    """Canonical JSONL for a metric-sample series."""
+    return records_to_jsonl(samples)
+
+
+def write_text(path: str, payload: str) -> None:
+    """Write an export payload byte-exactly (newline-preserving)."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(payload)

@@ -84,40 +84,51 @@ def render_flamegraph(spans: list[Span], *, width: int = 100,
     return "\n".join(lines)
 
 
-def hot_spans(spans: list[Span], top: int = 10) -> list[dict]:
+def hot_spans(spans: list[Span], top: int | None = 10) -> list[dict]:
     """Top-*top* span names by self time (total minus child time).
 
-    Returns dicts with ``name``, ``count``, ``total_seconds``,
-    ``self_seconds`` and ``mean_seconds``, sorted by self time (the
-    flamegraph answers *where*; this answers *what kind*).
+    Aggregates every instance of a name into one row — a 12-epoch
+    service trace emits ``service.epoch`` twelve times, and the row sums
+    them.  Returns dicts with ``name``, ``count``, ``total_seconds``,
+    ``self_seconds``, ``mean_seconds``, ``max_seconds`` (the worst
+    single instance) and ``share`` (this name's slice of all self time
+    — shares sum to 1, even when simulated workers overlap), sorted by
+    self time; ``top=None`` returns every name (the flamegraph answers
+    *where*; this answers *what kind*).
     """
     _, children = build_tree(spans)
     totals: dict[str, list[float]] = {}
     for span in spans:
         child_time = sum(c.duration for c in children.get(span.span_id, ()))
-        bucket = totals.setdefault(span.name, [0, 0.0, 0.0])
+        bucket = totals.setdefault(span.name, [0, 0.0, 0.0, 0.0])
         bucket[0] += 1
         bucket[1] += span.duration
         bucket[2] += max(0.0, span.duration - child_time)
+        bucket[3] = max(bucket[3], span.duration)
+    all_self = sum(bucket[2] for bucket in totals.values())
     rows = [
         {"name": name, "count": count, "total_seconds": total,
          "self_seconds": self_time,
-         "mean_seconds": total / count if count else 0.0}
-        for name, (count, total, self_time) in totals.items()
+         "mean_seconds": total / count if count else 0.0,
+         "max_seconds": worst,
+         "share": self_time / all_self if all_self else 0.0}
+        for name, (count, total, self_time, worst) in totals.items()
     ]
     rows.sort(key=lambda r: (-r["self_seconds"], -r["total_seconds"],
                              r["name"]))
-    return rows[:top]
+    return rows if top is None else rows[:top]
 
 
-def render_hot_spans(spans: list[Span], top: int = 10) -> str:
+def render_hot_spans(spans: list[Span], top: int | None = 10) -> str:
     """Text table of :func:`hot_spans` (the CLI's ``--top`` report)."""
     rows = hot_spans(spans, top=top)
     if not rows:
         return "(empty trace)"
-    headers = ["name", "count", "self (s)", "total (s)", "mean (s)"]
+    headers = ["name", "count", "self (s)", "self %", "total (s)",
+               "mean (s)", "max (s)"]
     cells = [[r["name"], str(r["count"]), f"{r['self_seconds']:.6f}",
-              f"{r['total_seconds']:.6f}", f"{r['mean_seconds']:.6f}"]
+              f"{r['share']:.1%}", f"{r['total_seconds']:.6f}",
+              f"{r['mean_seconds']:.6f}", f"{r['max_seconds']:.6f}"]
              for r in rows]
     widths = [max(len(headers[i]), *(len(row[i]) for row in cells))
               for i in range(len(headers))]
@@ -129,13 +140,18 @@ def render_hot_spans(spans: list[Span], top: int = 10) -> str:
 
 
 def trace_summary(spans: list[Span]) -> dict:
-    """Headline numbers for a trace: span count, roots, total duration."""
+    """Headline numbers for a trace: span count, roots, total duration,
+    plus ``by_name`` — the full per-span-name aggregate table (every
+    name, not just the hot ones), keyed by name."""
     roots, _ = build_tree(spans)
+    by_name = {row["name"]: {k: v for k, v in row.items() if k != "name"}
+               for row in hot_spans(spans, top=None)}
     return {
         "spans": len(spans),
         "roots": len(roots),
         "names": len({span.name for span in spans}),
         "total_seconds": sum(root.duration for root in roots),
+        "by_name": by_name,
     }
 
 

@@ -1,0 +1,343 @@
+"""Declarative SLOs with error budgets and burn-rate alerting.
+
+A :class:`Slo` names a service-level indicator over the per-epoch
+:class:`~repro.telemetry.timeseries.MetricSample` series and a target
+*objective* (the good fraction, e.g. ``0.999``).  The complement —
+``1 - objective`` — is the **error budget**; the evaluator tracks how
+fast a run consumes it:
+
+* per sample, the indicator's *bad fraction* in ``[0, 1]`` (a threshold
+  indicator is all-good or all-bad for the epoch; a ratio indicator is
+  the bad-event share of the epoch's events);
+* the **burn rate** over a fast and a slow trailing window — the classic
+  multi-window construction: paging requires *both* windows to burn
+  hot (a blip cannot page), while the slow window alone raises tickets
+  (a slow leak cannot hide);
+* the cumulative share of the whole run's budget consumed.
+
+Everything is evaluated in **simulated time** from deterministic
+samples, so two same-seed service runs produce identical alert
+timelines — alerts are regression-testable artifacts, not ops noise.
+The online service (:mod:`repro.service.core`) appends the resulting
+:class:`AlertEvent` stream to its result and can optionally feed page
+alerts back into admission control (``ServiceConfig.slo_degradation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import MetricSample
+
+#: Alert severities in escalation order.
+SEVERITIES = ("page", "ticket")
+#: Indicator kinds an :class:`Slo` may declare.
+INDICATORS = ("threshold", "ratio")
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One service-level objective over a sampled metric series.
+
+    Attributes
+    ----------
+    name / description:
+        Stable identifier (appears in alerts, dashboards and exports)
+        and a human sentence of what the objective promises.
+    objective:
+        Target good fraction in ``(0, 1)``; the error budget is
+        ``1 - objective``.
+    indicator:
+        ``"threshold"`` — the epoch is *bad* when the level read from
+        ``metric`` exceeds ``bound``.  ``"ratio"`` — the epoch's bad
+        fraction is ``rate(metric) / rate(total_metric)`` (counter
+        deltas, or gauge values for per-epoch gauges; ``total_metric``
+        may sum several series with ``+``).
+    metric / bound / total_metric:
+        The series the indicator reads.  Histogram quantiles are
+        addressed as ``"name:p99"``.
+    fast_window / slow_window:
+        Trailing window lengths in samples (epochs) for burn rates.
+    page_burn / ticket_burn:
+        Burn-rate thresholds: *page* when both windows burn at or above
+        ``page_burn``; *ticket* when the slow window alone reaches
+        ``ticket_burn``.
+    """
+
+    name: str
+    description: str
+    objective: float
+    indicator: str
+    metric: str
+    bound: float = 0.0
+    total_metric: str = ""
+    fast_window: int = 2
+    slow_window: int = 6
+    page_burn: float = 8.0
+    ticket_burn: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("Slo.name must be non-empty")
+        if not 0.0 < self.objective < 1.0:
+            raise ConfigurationError(
+                f"objective must lie in (0, 1), got {self.objective}")
+        if self.indicator not in INDICATORS:
+            raise ConfigurationError(
+                f"indicator must be one of {INDICATORS}, "
+                f"got {self.indicator!r}")
+        if self.indicator == "ratio" and not self.total_metric:
+            raise ConfigurationError(
+                f"ratio SLO {self.name!r} needs a total_metric denominator")
+        if self.fast_window < 1 or self.slow_window < self.fast_window:
+            raise ConfigurationError(
+                "windows must satisfy 1 <= fast_window <= slow_window")
+        if self.page_burn <= 0 or self.ticket_burn <= 0:
+            raise ConfigurationError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerable bad fraction, ``1 - objective``."""
+        return 1.0 - self.objective
+
+    def bad_fraction(self, sample: MetricSample) -> float:
+        """The indicator's bad share of this sample, in ``[0, 1]``."""
+        if self.indicator == "threshold":
+            return 1.0 if _read_level(sample, self.metric) > self.bound \
+                else 0.0
+        bad = _read_rate(sample, self.metric)
+        total = sum(_read_rate(sample, part)
+                    for part in self.total_metric.split("+"))
+        if total <= 0.0:
+            return 0.0
+        return min(1.0, max(0.0, bad / total))
+
+
+def _read_level(sample: MetricSample, name: str) -> float:
+    """Instantaneous level: gauge, cumulative counter, or ``hist:pXX``."""
+    if ":" in name:
+        hist, key = name.rsplit(":", 1)
+        return sample.quantile(hist, key)
+    return sample.value(name)
+
+
+def _read_rate(sample: MetricSample, name: str) -> float:
+    """Per-sample rate: counter delta, else gauge/level value."""
+    name = name.strip()
+    if name in sample.deltas:
+        return sample.delta(name)
+    return _read_level(sample, name)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert transition in the simulated-time alert log."""
+
+    epoch: int
+    time: float
+    slo: str
+    severity: str  # "page" | "ticket"
+    kind: str      # "fire" | "resolve"
+    burn_fast: float
+    burn_slow: float
+    budget_consumed: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SloStatus:
+    """Everything the evaluator derived for one SLO over one run."""
+
+    slo: Slo
+    bad_fractions: list[float] = field(default_factory=list)
+    burn_fast: list[float] = field(default_factory=list)
+    burn_slow: list[float] = field(default_factory=list)
+    budget_consumed: list[float] = field(default_factory=list)
+    alerts: list[AlertEvent] = field(default_factory=list)
+
+    @property
+    def consumed(self) -> float:
+        """Final share of the run's error budget consumed (>= 0)."""
+        return self.budget_consumed[-1] if self.budget_consumed else 0.0
+
+    @property
+    def breached(self) -> bool:
+        """True when the run spent its whole error budget."""
+        return self.consumed >= 1.0
+
+    @property
+    def pages(self) -> int:
+        return sum(1 for a in self.alerts
+                   if a.severity == "page" and a.kind == "fire")
+
+    @property
+    def tickets(self) -> int:
+        return sum(1 for a in self.alerts
+                   if a.severity == "ticket" and a.kind == "fire")
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": asdict(self.slo),
+            "bad_fractions": list(self.bad_fractions),
+            "burn_fast": list(self.burn_fast),
+            "burn_slow": list(self.burn_slow),
+            "budget_consumed": list(self.budget_consumed),
+            "consumed": self.consumed,
+            "breached": self.breached,
+            "pages": self.pages,
+            "tickets": self.tickets,
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+
+class SloEvaluator:
+    """Incremental multi-window burn-rate evaluation over a sample stream.
+
+    Feed samples in simulated-time order with :meth:`observe`; each call
+    returns the alert transitions that sample caused, in deterministic
+    order (SLO declaration order, page before ticket).  The service's
+    epoch loop uses the incremental form so a page alert can tighten
+    admission control *next* epoch; batch callers use
+    :func:`evaluate_slos`.
+
+    Parameters
+    ----------
+    slos:
+        The objectives to track, in declaration order.
+    horizon:
+        Total expected samples (the service passes ``config.epochs``);
+        sizes the run-level error budget.  Defaults to a growing horizon
+        (budget fraction is then relative to samples seen so far).
+    """
+
+    def __init__(self, slos, *, horizon: int | None = None):
+        if horizon is not None and horizon < 1:
+            raise ConfigurationError("horizon must be >= 1 or None")
+        self.slos = tuple(slos)
+        names = [s.name for s in self.slos]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO names in {names}")
+        self.horizon = horizon
+        self.statuses = [SloStatus(slo=slo) for slo in self.slos]
+        self._active: list[dict[str, bool]] = [
+            {severity: False for severity in SEVERITIES} for _ in self.slos]
+        self.alerts: list[AlertEvent] = []
+
+    def observe(self, sample: MetricSample) -> list[AlertEvent]:
+        """Evaluate one sample; returns the alert transitions it caused."""
+        events: list[AlertEvent] = []
+        for slot, (slo, status) in enumerate(zip(self.slos, self.statuses)):
+            bad = slo.bad_fraction(sample)
+            status.bad_fractions.append(bad)
+            n = len(status.bad_fractions)
+            budget = slo.budget
+            fast = _window_mean(status.bad_fractions, slo.fast_window)
+            slow = _window_mean(status.bad_fractions, slo.slow_window)
+            burn_fast = fast / budget
+            burn_slow = slow / budget
+            horizon = self.horizon if self.horizon is not None else n
+            consumed = sum(status.bad_fractions) / (budget * horizon)
+            status.burn_fast.append(burn_fast)
+            status.burn_slow.append(burn_slow)
+            status.budget_consumed.append(consumed)
+
+            should = {
+                # Both windows must burn hot to page: a one-epoch blip
+                # cannot wake anyone unless the slow window corroborates.
+                "page": burn_fast >= slo.page_burn
+                and burn_slow >= slo.page_burn * slo.fast_window
+                / slo.slow_window,
+                # The slow window alone raises a ticket: slow leaks
+                # surface even when no single epoch looks alarming.
+                "ticket": burn_slow >= slo.ticket_burn,
+            }
+            for severity in SEVERITIES:
+                if should[severity] == self._active[slot][severity]:
+                    continue
+                self._active[slot][severity] = should[severity]
+                event = AlertEvent(
+                    epoch=sample.index, time=sample.time, slo=slo.name,
+                    severity=severity,
+                    kind="fire" if should[severity] else "resolve",
+                    burn_fast=burn_fast, burn_slow=burn_slow,
+                    budget_consumed=consumed)
+                status.alerts.append(event)
+                events.append(event)
+        self.alerts.extend(events)
+        return events
+
+    def paging(self) -> bool:
+        """True while any SLO has an active page alert."""
+        return any(state["page"] for state in self._active)
+
+    def to_dict(self) -> dict:
+        return {
+            "horizon": self.horizon,
+            "slos": [status.to_dict() for status in self.statuses],
+            "alerts": [a.to_dict() for a in self.alerts],
+        }
+
+
+def _window_mean(values: list[float], window: int) -> float:
+    tail = values[-window:]
+    return sum(tail) / len(tail)
+
+
+def evaluate_slos(samples, slos, *, horizon: int | None = None) -> SloEvaluator:
+    """Batch evaluation: run an :class:`SloEvaluator` over *samples*."""
+    evaluator = SloEvaluator(slos, horizon=horizon)
+    for sample in samples:
+        evaluator.observe(sample)
+    return evaluator
+
+
+# ----------------------------------------------------------------------
+# The online service's default objective set
+# ----------------------------------------------------------------------
+def default_service_slos(*, p99_latency_ms: float = 60.0,
+                         availability: float = 0.999,
+                         shed_rate: float = 0.05,
+                         drift_bound: float = 0.05,
+                         backlog_bound: float = 200.0) -> tuple[Slo, ...]:
+    """The five SLOs every service run is judged against by default.
+
+    Thresholds are calibrated to the ``slo-ablation`` experiment's
+    nominal policy, which holds every objective; each knob has a named
+    failure mode (starve ``mutation_service_rate`` → backlog + shed;
+    disable migration → drift; shrink queue bounds → availability) that
+    the other policies exercise.  The default ``serve-sim`` /
+    ``repro health`` scenario is deliberately over-subscribed (offered
+    writes exceed the service rate), so its dashboard demos a live
+    write-shed / backlog breach rather than an all-green board.
+    """
+    return (
+        Slo(name="query-latency-p99",
+            description=f"epoch p99 query latency stays <= "
+                        f"{p99_latency_ms:g} ms",
+            objective=0.9, indicator="threshold",
+            metric="service.epoch.p99_latency_ms", bound=p99_latency_ms),
+        Slo(name="availability",
+            description=f"at least {availability:.3%} of queries succeed",
+            objective=availability, indicator="ratio",
+            metric="service.queries.failed",
+            total_metric="service.queries.completed"
+                         "+service.queries.failed"),
+        Slo(name="write-shed-rate",
+            description=f"at most {shed_rate:.0%} of offered writes are "
+                        f"shed by admission control",
+            objective=1.0 - shed_rate, indicator="ratio",
+            metric="service.epoch.shed_writes",
+            total_metric="service.epoch.offered_mutations"),
+        Slo(name="partition-drift",
+            description=f"partition-quality drift stays <= {drift_bound:g}",
+            objective=0.8, indicator="threshold",
+            metric="service.epoch.drift", bound=drift_bound),
+        Slo(name="migration-backlog",
+            description=f"the pending-mutation backlog stays <= "
+                        f"{backlog_bound:g}",
+            objective=0.8, indicator="threshold",
+            metric="service.epoch.pending_mutations", bound=backlog_bound),
+    )

@@ -1,0 +1,180 @@
+"""Deterministic time-series sampling over a :class:`MetricsRegistry`.
+
+The registry answers "what are the totals *now*"; the experiments'
+central objects — the online service's epoch loop, the DES horizon, a
+GAS run's supersteps — are *trajectories*, and an aggregate total cannot
+say when p99 degraded or whether a migration paid for itself.  This
+module turns a registry into an ordered sequence of immutable
+:class:`MetricSample` records: each sample carries the cumulative
+counters, the **deltas since the previous sample**, the gauges, and the
+histogram quantile summaries, all stamped with *simulated* time — so two
+same-seed runs produce byte-identical series (see
+:mod:`repro.telemetry.export` for the canonical wire formats).
+
+Sampling is **free when disabled**: a :class:`TimeSeriesSampler`
+constructed with ``enabled=False`` makes zero registry calls — the same
+contract the span tracer honours on hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One immutable observation of a registry at a simulated instant.
+
+    Attributes
+    ----------
+    index:
+        Ordinal of the sample in its series (the service uses the epoch
+        number, the GAS engine the superstep, the DES a tick counter).
+    time:
+        Simulated seconds at which the snapshot was taken.
+    counters:
+        Cumulative counter values at *time*.
+    deltas:
+        Counter increments since the previous sample (first sample:
+        since zero) — the per-epoch rates every SLO indicator reads.
+    gauges:
+        Instantaneous gauge values.
+    histograms:
+        Per-histogram quantile summaries
+        (``count/min/p25/p50/p75/p95/p99/max/mean``).
+    """
+
+    index: int
+    time: float
+    counters: Mapping[str, float] = field(default_factory=dict)
+    deltas: Mapping[str, float] = field(default_factory=dict)
+    gauges: Mapping[str, float] = field(default_factory=dict)
+    histograms: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Gauge value, else cumulative counter, else *default*."""
+        if name in self.gauges:
+            return self.gauges[name]
+        return self.counters.get(name, default)
+
+    def delta(self, name: str, default: float = 0.0) -> float:
+        """Counter increment since the previous sample."""
+        return self.deltas.get(name, default)
+
+    def quantile(self, name: str, key: str, default: float = 0.0) -> float:
+        """One field of histogram *name*'s summary (e.g. ``"p99"``)."""
+        summary = self.histograms.get(name)
+        if summary is None:
+            return default
+        return summary.get(key, default)
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict view (sorted keys, plain floats)."""
+        return {
+            "index": self.index,
+            "time": self.time,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "deltas": {k: self.deltas[k] for k in sorted(self.deltas)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: {k: summary[k] for k in sorted(summary)}
+                for name, summary in sorted(self.histograms.items())},
+        }
+
+
+def _frozen(mapping: dict) -> Mapping:
+    return MappingProxyType(dict(mapping))
+
+
+class TimeSeriesSampler:
+    """Collect ordered :class:`MetricSample` records from one registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.telemetry.metrics.MetricsRegistry` to observe.
+    enabled:
+        ``False`` makes :meth:`sample` a guaranteed no-op that performs
+        **zero registry calls** — instrumented loops may therefore call
+        it unconditionally.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *, enabled: bool = True):
+        self.registry = registry
+        self.enabled = enabled
+        self.samples: list[MetricSample] = []
+        self._last_counters: dict[str, float] = {}
+        self._last_time: float | None = None
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def sample(self, time: float, index: int | None = None) -> MetricSample | None:
+        """Snapshot the registry at simulated *time*; returns the sample.
+
+        Samples must be taken in non-decreasing time order — out-of-order
+        timestamps would corrupt every downstream series — and return
+        ``None`` without touching the registry when the sampler is
+        disabled.
+        """
+        if not self.enabled:
+            return None
+        if self._last_time is not None and time < self._last_time:
+            raise ConfigurationError(
+                f"samples must be taken in time order: got t={time} after "
+                f"t={self._last_time}")
+        snapshot = self.registry.snapshot()
+        counters = snapshot["counters"]
+        deltas = {name: value - self._last_counters.get(name, 0.0)
+                  for name, value in counters.items()}
+        record = MetricSample(
+            index=len(self.samples) if index is None else index,
+            time=float(time),
+            counters=_frozen(counters),
+            deltas=_frozen(deltas),
+            gauges=_frozen(snapshot["gauges"]),
+            histograms=_frozen({name: _frozen(summary)
+                                for name, summary
+                                in snapshot["histograms"].items()}),
+        )
+        self.samples.append(record)
+        self._last_counters = dict(counters)
+        self._last_time = time
+        return record
+
+    # ------------------------------------------------------------------
+    # Series extraction (the dashboard's and the SLO evaluator's view)
+    # ------------------------------------------------------------------
+    def series(self, name: str, default: float = 0.0) -> list[float]:
+        """Per-sample gauge-or-cumulative-counter values of *name*."""
+        return [s.value(name, default) for s in self.samples]
+
+    def delta_series(self, name: str, default: float = 0.0) -> list[float]:
+        """Per-sample counter increments of *name*."""
+        return [s.delta(name, default) for s in self.samples]
+
+    def quantile_series(self, name: str, key: str = "p99",
+                        default: float = 0.0) -> list[float]:
+        """Per-sample histogram-summary field of *name* (default p99)."""
+        return [s.quantile(name, key, default) for s in self.samples]
+
+    def times(self) -> list[float]:
+        return [s.time for s in self.samples]
+
+    def names(self) -> list[str]:
+        """Every metric name seen in any sample, sorted."""
+        out: set[str] = set()
+        for sample in self.samples:
+            out.update(sample.counters)
+            out.update(sample.gauges)
+            out.update(sample.histograms)
+        return sorted(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"TimeSeriesSampler({len(self.samples)} samples, {state})"

@@ -1,4 +1,4 @@
-"""Cross-module contract rules (RL101–RL106).
+"""Cross-module contract rules (RL101–RL107).
 
 These rules extract facts from several modules at once — the partitioner
 registry, the experiment registry, the orchestrator's job planner, the
@@ -541,3 +541,128 @@ class ServiceSpanRegistry(Rule):
                     self.code,
                     f"{func.id}() in repro.service must be imported from "
                     f"repro.rng (seed-deterministic service loop)", func)
+
+
+#: Registry methods whose first argument is a metric name.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+#: The module that must declare the METRIC_NAMES export schema.
+_METRIC_ANCHOR = ("telemetry", "metrics")
+
+
+def _fstring_head(node: ast.JoinedStr) -> str:
+    """The literal prefix of an f-string, up to the first ``{...}``."""
+    head = []
+    for part in node.values:
+        if isinstance(part, ast.Constant) and isinstance(part.value, str):
+            head.append(part.value)
+        else:
+            break
+    return "".join(head)
+
+
+@register
+class MetricNameRegistry(Rule):
+    """RL107 — every emitted metric name is registered, both ways.
+
+    ``telemetry/metrics.py`` declares ``METRIC_NAMES``, the closed export
+    schema of every metric the repo emits — the OpenMetrics exporter, the
+    SLO indicators and the health dashboard all address series by these
+    names, so an unregistered emission is a series those consumers cannot
+    see, and a dangling entry documents telemetry that does not exist.
+    Emissions are the literal first arguments of ``counter()`` /
+    ``gauge()`` / ``histogram()`` calls (attribute or aliased-name form)
+    anywhere in the package; dynamic f-string names (the orchestrator's
+    ``cache.{outcome}`` family) must fall under a ``.*`` wildcard entry
+    covering their literal prefix.  The tuple must also stay sorted, so
+    diffs against the schema remain one-line.
+    """
+
+    code = "RL107"
+    name = "metric-name-registry"
+    summary = ("metric names passed to counter()/gauge()/histogram() must "
+               "be registered in telemetry/metrics.py METRIC_NAMES, every "
+               "entry must have an emitter, and the tuple stays sorted")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        anchor = project.find(*_METRIC_ANCHOR)
+        if anchor is None:
+            return  # no metrics registry in the linted set
+        registry = _literal_str_tuple(anchor, "METRIC_NAMES")
+        if registry is None:
+            yield Finding(
+                self.code,
+                "telemetry/metrics.py must declare METRIC_NAMES as a "
+                "literal tuple of metric-name strings",
+                str(anchor.path), 1)
+            return
+
+        entries = list(registry)
+        if entries != sorted(entries):
+            first = next(name for prev, name in zip(entries, entries[1:])
+                         if name < prev)
+            yield Finding(
+                self.code,
+                f"METRIC_NAMES must be sorted; {first!r} is out of order",
+                str(anchor.path), registry[first])
+
+        wildcards = [name for name in registry if name.endswith(".*")]
+        emitted_exact: dict = {}
+        emitted_heads: dict = {}
+        for module in project.package_modules():
+            if module is anchor:
+                continue  # the registry's own class definitions
+            yield from self._check_module(module, registry, wildcards,
+                                          emitted_exact, emitted_heads)
+
+        for name in sorted(registry):
+            if name in wildcards:
+                prefix = name[:-1]
+                covered = (any(e.startswith(prefix) for e in emitted_exact)
+                           or any(h.startswith(prefix) or prefix.startswith(h)
+                                  for h in emitted_heads))
+            else:
+                covered = name in emitted_exact
+            if not covered:
+                yield Finding(
+                    self.code,
+                    f"METRIC_NAMES registers {name!r} but no "
+                    f"counter()/gauge()/histogram() call emits it",
+                    str(anchor.path), registry[name])
+
+    def _check_module(self, module: Module, registry: dict, wildcards,
+                      emitted_exact: dict, emitted_heads: dict
+                      ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            method = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if method not in _METRIC_METHODS:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                emitted_exact.setdefault(name, module)
+                if not self._registered(name, registry, wildcards):
+                    yield module.finding(
+                        self.code,
+                        f"metric {name!r} is not registered in "
+                        f"telemetry/metrics.py METRIC_NAMES", arg)
+            elif isinstance(arg, ast.JoinedStr):
+                head = _fstring_head(arg)
+                if not head:
+                    continue  # fully dynamic — don't guess
+                emitted_heads.setdefault(head, module)
+                if not any(head.startswith(w[:-1]) or w[:-1].startswith(head)
+                           for w in wildcards):
+                    yield module.finding(
+                        self.code,
+                        f"dynamic metric family {head + '{...}'!r} has no "
+                        f"covering '.*' wildcard in METRIC_NAMES", arg)
+
+    @staticmethod
+    def _registered(name: str, registry: dict, wildcards) -> bool:
+        if name in registry:
+            return True
+        return any(name.startswith(entry[:-1]) for entry in wildcards)

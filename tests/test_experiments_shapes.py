@@ -327,3 +327,38 @@ class TestAblationShapes:
         assert results["ecr"][0] < results["ldg"][0]
         assert results["ldg"][0] < 0.5 * results["mts"][0]
         assert results["fennel"][0] < 0.5 * results["mts"][0]
+
+
+class TestSloAblationShapes:
+    def test_policy_breach_differentiation(self, ctx):
+        """docs/slo.md: each policy variant breaches exactly the SLOs
+        its failure mode predicts — the nominal anchor holds them all."""
+        from repro.experiments import slo_ablation
+        report = slo_ablation(ctx)
+        results = report.data["results"]
+
+        nominal = results["nominal"]
+        assert nominal["breached"] == []
+        assert nominal["pages"] == 0 and nominal["tickets"] == 0
+
+        starved = results["starved rate"]
+        assert "migration-backlog" in starved["breached"]
+        assert "write-shed-rate" in starved["breached"]
+        assert starved["pages"] >= 1
+
+        no_migration = results["no migration"]
+        assert "partition-drift" in no_migration["breached"]
+
+        degraded = results["degradation on"]
+        # The feedback hook trades backlog for shed writes.
+        assert degraded["shed_writes"] > starved["shed_writes"]
+        assert degraded["final_backlog"] < starved["final_backlog"]
+
+    def test_alert_timelines_are_regressable(self, ctx):
+        from repro.experiments import slo_ablation
+        first = slo_ablation(ctx).data["results"]
+        second = slo_ablation(ctx).data["results"]
+        for label in first:
+            assert first[label]["alerts"] == second[label]["alerts"]
+            assert first[label]["observability_digest"] == \
+                second[label]["observability_digest"]

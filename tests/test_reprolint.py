@@ -57,7 +57,7 @@ class TestRealTree:
         assert codes == sorted(codes)
         assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
                          "RL006", "RL101", "RL102", "RL103", "RL104",
-                         "RL105", "RL106"]
+                         "RL105", "RL106", "RL107"]
         assert all(rule.summary for rule in all_rules())
 
 
@@ -536,6 +536,72 @@ class TestOtherContracts:
                 "    rng = make_rng(seed)\n"
                 "    tracer.begin('service.run', 0.0)\n"
                 "    return rng\n",
+        })
+        assert [f.code for f in findings] == []
+
+    def test_rl107_unregistered_metric(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/telemetry/metrics.py":
+                "METRIC_NAMES = ('db.hits',)\n",
+            "repro/database/sim.py":
+                "def run(metrics):\n"
+                "    metrics.counter('db.hits').inc()\n"
+                "    metrics.gauge('db.rogue').set(1.0)\n",
+        })
+        finding = single(findings, "RL107")
+        assert "'db.rogue'" in finding.message
+        assert finding.path.endswith("database/sim.py")
+
+    def test_rl107_dangling_registry_entry(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/telemetry/metrics.py":
+                "METRIC_NAMES = ('db.ghost', 'db.hits')\n",
+            "repro/database/sim.py":
+                "def run(metrics):\n"
+                "    metrics.counter('db.hits').inc()\n",
+        })
+        finding = single(findings, "RL107")
+        assert "'db.ghost'" in finding.message
+        assert finding.path.endswith("telemetry/metrics.py")
+
+    def test_rl107_unsorted_registry(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/telemetry/metrics.py":
+                "METRIC_NAMES = ('db.hits', 'db.errors')\n",
+            "repro/database/sim.py":
+                "def run(metrics):\n"
+                "    metrics.counter('db.hits').inc()\n"
+                "    metrics.counter('db.errors').inc()\n",
+        })
+        finding = single(findings, "RL107")
+        assert "sorted" in finding.message
+        assert "'db.errors'" in finding.message
+
+    def test_rl107_fstring_family_needs_wildcard(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/telemetry/metrics.py":
+                "METRIC_NAMES = ('db.hits',)\n",
+            "repro/orchestrator/cache.py":
+                "def record(metrics, outcome):\n"
+                "    metrics.counter('db.hits').inc()\n"
+                "    metrics.counter(f'cache.{outcome}').inc()\n",
+        })
+        finding = single(findings, "RL107")
+        assert "wildcard" in finding.message
+        assert finding.path.endswith("orchestrator/cache.py")
+
+    def test_rl107_clean_metrics_fixture(self, tmp_path):
+        # Exact names, a wildcard-covered f-string family, and the
+        # aliased-name call form (gauge = metrics.gauge) all register.
+        findings = findings_for(tmp_path, {
+            "repro/telemetry/metrics.py":
+                "METRIC_NAMES = ('cache.*', 'db.hits', 'db.lag')\n",
+            "repro/orchestrator/cache.py":
+                "def record(metrics, outcome):\n"
+                "    metrics.counter('db.hits').inc()\n"
+                "    metrics.counter(f'cache.{outcome}').inc()\n"
+                "    gauge = metrics.gauge\n"
+                "    gauge('db.lag').set(0.5)\n",
         })
         assert [f.code for f in findings] == []
 
