@@ -1,0 +1,209 @@
+"""Out-of-core ingest at scale: quality vs memory vs throughput.
+
+Spills one R-MAT stream to the on-disk ``.redg`` format, then sweeps the
+sharded bounded-memory partitioner over it — shards × sync-interval ×
+{exact, sketch} degree state — and records the full surface: partition
+throughput (edges/sec, wall clock), peak tracked resident bytes next to
+what full in-memory materialisation would cost, and the replication
+factor / balance each configuration pays for its memory bound.  Writes
+``benchmarks/output/BENCH_scale.json``.
+
+Three properties are asserted, not just measured:
+
+* **worker-count determinism** — the same sharded configuration run
+  with 1 and 2 worker processes produces identical assignment digests;
+* **sketch quality bound** — the count-min degree state's replication
+  factor stays within 50% of the exact table's on the same stream;
+* **bounded memory** — every configuration's peak tracked bytes (also
+  published on the ``ingest.peak_bytes`` gauge) stays under a
+  profile-scaled fraction of the full-materialisation footprint: 35%
+  at the full profile, which exercises a ≥10⁷-edge stream end-to-end
+  (the floor is ~20% — the merged assignment plus the per-shard slices
+  it is gathered from), looser at the toy profiles where the
+  fixed-width sketch and chunk buffers have not amortised yet.
+
+Run standalone — it does not need pytest::
+
+    python benchmarks/bench_scale.py                 # quick profile
+    python benchmarks/bench_scale.py --profile smoke # CI smoke job
+    python benchmarks/bench_scale.py --profile full  # ≥10^7-edge stream
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.ingest import (  # noqa: E402
+    EdgeStreamFile,
+    ShardConfig,
+    file_partition_quality,
+    full_materialization_bytes,
+    sharded_partition,
+    spill_rmat,
+)
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+OUTPUT_JSON = OUTPUT_DIR / "BENCH_scale.json"
+
+#: Stream size and sweep grid per profile.  ``grid`` rows are
+#: ``(state, num_shards, sync_interval)``; every row runs the same
+#: algorithm so the surface isolates the sharding/state axes.  The full
+#: profile's scale-20 stream is ≥10^7 edges — the out-of-core acceptance
+#: bar — so its grid stays small to keep the run minutes-scale.
+PROFILES = {
+    "smoke": {
+        "scale": 14, "edge_factor": 16.0, "max_fraction": 0.75,
+        "grid": (("exact", 1, 1 << 30), ("exact", 4, 16384),
+                 ("sketch", 4, 16384)),
+    },
+    "quick": {
+        "scale": 16, "edge_factor": 16.0, "max_fraction": 0.5,
+        "grid": (("exact", 1, 1 << 30), ("exact", 4, 16384),
+                 ("exact", 8, 65536), ("sketch", 4, 16384),
+                 ("sketch", 8, 65536)),
+    },
+    "full": {
+        "scale": 20, "edge_factor": 16.0, "max_fraction": 0.35,
+        "grid": (("exact", 4, 65536), ("sketch", 4, 65536),
+                 ("sketch", 8, 262144)),
+    },
+}
+
+#: Seed for the spilled stream and every shard run.
+SEED = 23
+
+#: The sharded configuration re-run with 2 workers for the determinism
+#: assertion (must appear in every profile's grid).
+PARITY_ROW = ("exact", 4, None)
+
+
+def _config(state: str, num_shards: int, sync_interval: int, *,
+            workers: int = 1) -> ShardConfig:
+    return ShardConfig(algorithm="hdrf", num_partitions=8, state=state,
+                       num_shards=num_shards, sync_interval=sync_interval,
+                       workers=workers, seed=SEED)
+
+
+def _measure(path: str, config: ShardConfig, max_fraction: float) -> dict:
+    started = time.perf_counter()
+    result = sharded_partition(path, config)
+    wall = time.perf_counter() - started
+    gauge_peak = int(telemetry.get_metrics().value("ingest.peak_bytes"))
+    if gauge_peak != result.peak_tracked_bytes:
+        raise AssertionError(
+            f"ingest.peak_bytes gauge ({gauge_peak}) disagrees with the "
+            f"driver's tracked peak ({result.peak_tracked_bytes})")
+    full = full_materialization_bytes(result.num_vertices, result.num_edges)
+    if result.peak_tracked_bytes >= full * max_fraction:
+        raise AssertionError(
+            f"peak tracked bytes {result.peak_tracked_bytes:,} not well "
+            f"below full materialisation {full:,} "
+            f"(state={config.state}, shards={config.num_shards})")
+    quality = file_partition_quality(EdgeStreamFile(path), result.assignment,
+                                     config.num_partitions)
+    return {
+        "wall_seconds": round(wall, 3),
+        "edges_per_second": round(result.num_edges / wall, 1),
+        "rounds": result.rounds,
+        "peak_tracked_bytes": result.peak_tracked_bytes,
+        "peak_fraction_of_full": round(result.peak_tracked_bytes / full, 4),
+        "replication_factor": round(quality["replication_factor"], 4),
+        "load_imbalance": round(quality["load_imbalance"], 4),
+        "digest": result.digest()[:16],
+    }
+
+
+def run(profile: str) -> dict:
+    params = PROFILES[profile]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-scale-") as tmp:
+        started = time.perf_counter()
+        path = spill_rmat(f"{tmp}/stream.redg", params["scale"],
+                          params["edge_factor"], seed=SEED)
+        spill_wall = time.perf_counter() - started
+        stream = EdgeStreamFile(path)
+        print(f"spilled {stream.num_edges:,} edges "
+              f"(scale {params['scale']}) in {spill_wall:.2f}s")
+
+        results = {}
+        for state, num_shards, sync_interval in params["grid"]:
+            label = f"{state}/s{num_shards}/i{sync_interval}"
+            row = _measure(path, _config(state, num_shards, sync_interval),
+                           params["max_fraction"])
+            results[label] = row
+            print(f"{label:22s} {row['edges_per_second']:>12,.0f} edges/s  "
+                  f"rf {row['replication_factor']:.3f}  peak "
+                  f"{row['peak_tracked_bytes']:,} "
+                  f"({row['peak_fraction_of_full']:.1%} of full)")
+
+        # Worker-count determinism: same config, 2 processes, same bytes.
+        state, num_shards, _ = PARITY_ROW
+        sync = next(s for st, n, s in params["grid"]
+                    if st == state and n == num_shards)
+        serial = results[f"{state}/s{num_shards}/i{sync}"]
+        parallel = _measure(path, _config(state, num_shards, sync, workers=2),
+                            params["max_fraction"])
+        if parallel["digest"] != serial["digest"]:
+            raise AssertionError(
+                f"worker-count determinism violated: workers=2 digest "
+                f"{parallel['digest']} != workers=1 {serial['digest']}")
+        print(f"workers=2 parity OK ({parallel['edges_per_second']:,.0f} "
+              f"edges/s parallel)")
+
+        # Sketch quality bound against the exact run at the same sharding.
+        exact_rf = {label.split("/", 1)[1]: row["replication_factor"]
+                    for label, row in results.items()
+                    if label.startswith("exact/")}
+        for label, row in results.items():
+            if not label.startswith("sketch/"):
+                continue
+            partner = exact_rf.get(label.split("/", 1)[1])
+            if partner is not None and row["replication_factor"] > 1.5 * partner:
+                raise AssertionError(
+                    f"sketch quality bound violated at {label}: rf "
+                    f"{row['replication_factor']} vs exact {partner}")
+
+        payload = {
+            "schema": 1,
+            "profile": profile,
+            "stream": {"generator": "rmat", "scale": params["scale"],
+                       "edge_factor": params["edge_factor"], "seed": SEED},
+            "num_vertices": stream.num_vertices,
+            "num_edges": stream.num_edges,
+            "full_materialization_bytes": full_materialization_bytes(
+                stream.num_vertices, stream.num_edges),
+            "spill": {
+                "wall_seconds": round(spill_wall, 3),
+                "edges_per_second": round(stream.num_edges / spill_wall, 1),
+            },
+            "parallel_edges_per_second": parallel["edges_per_second"],
+            "results": results,
+        }
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="quick")
+    parser.add_argument("--output", default=None,
+                        help=f"output JSON path (default {OUTPUT_JSON})")
+    args = parser.parse_args(argv)
+
+    payload = run(args.profile)
+    output = Path(args.output) if args.output else OUTPUT_JSON
+    output.parent.mkdir(exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,12 @@ The package provides, from scratch:
 * :mod:`repro.orchestrator` — the experiment suite as an explicit job
   DAG with a content-addressed artifact cache and a process-pool
   scheduler (``python -m repro run-all --jobs N``, ``repro cache
-  stats``; see ``docs/orchestrator.md``).
+  stats``; see ``docs/orchestrator.md``);
+* :mod:`repro.ingest` — out-of-core ingest: generators spill to the
+  binary ``.redg`` stream format, memory-mapped replay through the
+  existing stream interfaces, count-min-sketch degree state, and
+  sharded parallel partitioning (``python -m repro ingest``; see
+  ``docs/scaling.md``).
 
 Quickstart::
 

@@ -21,6 +21,12 @@ class GraphFormatError(ReproError):
     """A graph file or in-memory description could not be parsed."""
 
 
+class IngestError(ReproError):
+    """An on-disk edge-stream file is malformed (bad magic, unsupported
+    version, truncated payload) or the sharded ingest driver was
+    misconfigured / reached an inconsistent state."""
+
+
 class PartitioningError(ReproError):
     """A partitioning algorithm was used incorrectly or produced an
     inconsistent state (e.g. asking for the assignment of an unseen vertex).

@@ -37,6 +37,7 @@ from repro.experiments.figures import (
 )
 from repro.experiments.online_service import online_service
 from repro.experiments.report import ExperimentReport, Table
+from repro.experiments.scale_sweep import scale_sweep
 from repro.experiments.slo_ablation import slo_ablation
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.tables import table3, table4, table5
@@ -71,6 +72,7 @@ EXPERIMENTS = {
     "ablation-sender-side-aggregation": ablation_sender_side_aggregation,
     "online-service": online_service,
     "slo-ablation": slo_ablation,
+    "scale-sweep": scale_sweep,
 }
 
 __all__ = [
@@ -96,4 +98,5 @@ __all__ = [
     "ablation_sender_side_aggregation",
     "online_service",
     "slo_ablation",
+    "scale_sweep",
 ]

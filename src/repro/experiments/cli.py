@@ -46,6 +46,8 @@ examples:
   repro lint src tests              check determinism/registry invariants
   repro serve-sim                   run the online partitioning service
   repro health --out artifacts/     SLO dashboard + OpenMetrics exports
+  repro ingest spill rmat s.redg --scale 18    spill a stream to disk
+  repro ingest partition s.redg -a hdrf --shards 4 --workers 4
 """
 
 
@@ -71,6 +73,11 @@ def main(argv=None) -> int:
         # sparklines, error-budget burn, alert log, export artifacts.
         from repro.tools.health_cli import main as health_main
         return health_main(argv[1:])
+    if argv[:1] == ["ingest"]:
+        # Out-of-core streams (docs/scaling.md): spill generators to the
+        # on-disk .redg format, inspect files, sharded partitioning.
+        from repro.tools.ingest_cli import main as ingest_main
+        return ingest_main(argv[1:])
     if argv[:1] == ["run-all"]:
         return _run_all_command(argv[1:])
     if argv[:1] == ["cache"]:

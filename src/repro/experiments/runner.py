@@ -68,6 +68,7 @@ class ExperimentContext:
     _runs: dict = field(default_factory=dict)
     _bindings: dict = field(default_factory=dict)
     _simulations: dict = field(default_factory=dict)
+    _ingests: dict = field(default_factory=dict)
 
     @property
     def profile(self):
@@ -205,6 +206,29 @@ class ExperimentContext:
 
         return self._through_cache(self._runs, key, "analytics",
                                    fields, compute)
+
+    # ------------------------------------------------------------------
+    # Out-of-core ingest
+    # ------------------------------------------------------------------
+    def ingest_run(self, spec: dict) -> dict:
+        """Run (and cache) one out-of-core ingest described by *spec*.
+
+        *spec* is the JSON-safe ``{"stream": {...}, "shard": {...}}``
+        shape :func:`repro.ingest.run_ingest_spec` takes; the whole spec
+        is the cache key.  Worker count is *not* part of the shard spec's
+        identity (``ShardConfig.to_fields`` drops it), so summaries
+        cached by a parallel run satisfy a serial re-run byte-for-byte.
+        """
+        from repro.ingest import ShardConfig, run_ingest_spec
+
+        shard = ShardConfig(**dict(spec.get("shard", {})))
+        fields = {
+            "stream": dict(spec.get("stream", {})),
+            "shard": shard.to_fields(),
+        }
+        key = repr(sorted(fields["stream"].items())) + repr(shard.to_fields())
+        return self._through_cache(self._ingests, key, "ingest", fields,
+                                   lambda: run_ingest_spec(spec))
 
     # ------------------------------------------------------------------
     # Online workloads

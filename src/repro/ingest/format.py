@@ -1,0 +1,97 @@
+"""The ``.redg`` on-disk edge-stream format.
+
+A ``.redg`` file is a directed edge stream that can be partitioned
+without ever materialising a :class:`~repro.graph.digraph.Graph`:
+
+====================  =======================================================
+offset                content
+====================  =======================================================
+0                     64-byte header (little-endian, layout below)
+64                    payload: for each chunk ``c`` of length ``L_c``,
+                      ``L_c`` uint64 source ids then ``L_c`` uint64
+                      destination ids, back to back
+64 + 16·num_edges     footer: ``num_chunks`` uint64 chunk lengths
+====================  =======================================================
+
+Header layout (``<8s I I Q Q Q Q 16x``):
+
+* ``magic``        — :data:`MAGIC` (8 bytes)
+* ``version``      — :data:`FORMAT_VERSION` (uint32)
+* ``flags``        — bit field; :data:`FLAG_ADJACENCY` set when edges form
+  one contiguous run per source vertex, in stream order (the undirected
+  adjacency expansion a vertex stream needs)
+* ``num_vertices`` / ``num_edges`` / ``num_chunks`` — uint64 counts
+* one reserved uint64 plus 16 zero-padding bytes
+
+Chunks are variable-length because generators drop self-loops per block;
+the footer makes any ``[start, stop)`` edge range seekable.  Edge ids are
+implicit: edge ``i`` is simply the ``i``-th pair in the payload, so the
+reader yields the same ``(edge_id, src, dst)`` shapes a graph-backed
+:class:`~repro.graph.stream.EdgeStream` produces.
+
+Everything that opens these files binarily lives in :mod:`repro.ingest`;
+reprolint rule RL108 enforces that, and checks that the writer and the
+reader both validate against the *same* :data:`MAGIC` /
+:data:`FORMAT_VERSION` constants defined here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "FLAG_ADJACENCY",
+    "FORMAT_VERSION",
+    "HEADER_SIZE",
+    "MAGIC",
+    "Header",
+]
+
+#: File magic — first 8 bytes of every ``.redg`` stream file.
+MAGIC = b"REPROEDG"
+
+#: Bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: Fixed header size in bytes; the payload starts here.
+HEADER_SIZE = 64
+
+#: Header flag: edges form one contiguous run per source vertex, in
+#: stream order (the undirected adjacency expansion), so a vertex
+#: stream can be replayed.
+FLAG_ADJACENCY = 1
+
+_HEADER_STRUCT = struct.Struct("<8sIIQQQQ16x")
+assert _HEADER_STRUCT.size == HEADER_SIZE
+
+
+@dataclass(frozen=True)
+class Header:
+    """Parsed ``.redg`` header fields (validation happens in the reader)."""
+
+    magic: bytes
+    version: int
+    flags: int
+    num_vertices: int
+    num_edges: int
+    num_chunks: int
+
+    def pack(self) -> bytes:
+        """Serialise to the fixed 64-byte on-disk layout."""
+        return _HEADER_STRUCT.pack(self.magic, self.version, self.flags,
+                                   self.num_vertices, self.num_edges,
+                                   self.num_chunks, 0)
+
+    @classmethod
+    def unpack(cls, buffer: bytes) -> "Header":
+        """Parse a 64-byte header buffer (structure only, no validation)."""
+        magic, version, flags, num_vertices, num_edges, num_chunks, _ = (
+            _HEADER_STRUCT.unpack(buffer))
+        return cls(magic=magic, version=version, flags=flags,
+                   num_vertices=num_vertices, num_edges=num_edges,
+                   num_chunks=num_chunks)
+
+    @property
+    def adjacency_sorted(self) -> bool:
+        return bool(self.flags & FLAG_ADJACENCY)

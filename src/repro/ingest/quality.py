@@ -1,0 +1,57 @@
+"""Partition-quality metrics computed off a ``.redg`` file.
+
+The in-memory quality helpers (:mod:`repro.metrics.quality`) take a
+:class:`~repro.graph.digraph.Graph`; the out-of-core path never builds
+one, so the replication factor and balance of a file-backed run are
+re-derived here in one chunked pass over the stream — resident memory is
+the ``num_vertices × k`` replica-presence table plus one chunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IngestError
+from repro.ingest.reader import EdgeStreamFile
+from repro.partitioning.base import UNASSIGNED
+
+__all__ = ["file_partition_quality"]
+
+
+def file_partition_quality(stream_file: EdgeStreamFile,
+                           assignment: np.ndarray,
+                           num_partitions: int) -> dict:
+    """Replication factor, balance and sizes of a file-backed partition.
+
+    Mirrors :func:`repro.metrics.quality.replication_factor` (mean
+    replicas per *active* vertex — a vertex incident to at least one
+    edge) and :func:`repro.metrics.quality.load_imbalance`
+    (``max/mean`` edge load) for an assignment produced over
+    *stream_file*.
+    """
+    assignment = np.asarray(assignment)
+    if assignment.shape != (stream_file.num_edges,):
+        raise IngestError(
+            f"assignment has shape {assignment.shape}, stream has "
+            f"{stream_file.num_edges} edges")
+    if np.any(assignment == UNASSIGNED):
+        raise IngestError("assignment is incomplete (UNASSIGNED edges)")
+    k = int(num_partitions)
+    presence = np.zeros((stream_file.num_vertices, k), dtype=bool)
+    for edge_ids, src, dst in stream_file.iter_chunks():
+        parts = assignment[edge_ids]
+        presence[src, parts] = True
+        presence[dst, parts] = True
+    replicas_per_vertex = presence.sum(axis=1)
+    active = int(np.count_nonzero(replicas_per_vertex))
+    total_replicas = int(replicas_per_vertex.sum())
+    sizes = np.bincount(assignment, minlength=k).astype(np.int64)
+    mean_load = float(sizes.mean()) if k else 0.0
+    return {
+        "replication_factor": (total_replicas / active) if active else 0.0,
+        "load_imbalance": (float(sizes.max()) / mean_load
+                           if mean_load > 0 else 0.0),
+        "active_vertices": active,
+        "total_replicas": total_replicas,
+        "sizes": sizes.tolist(),
+    }

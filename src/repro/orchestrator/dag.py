@@ -347,4 +347,7 @@ _REQUIREMENTS = {
     # The SLO ablation is the same service loop under different policies;
     # like online-service, only the base graph is a plannable artifact.
     "slo-ablation": _req_online_service,
+    # The scale sweep spills its own synthetic streams to disk and caches
+    # ingest summaries directly; nothing is plannable up front.
+    "scale-sweep": _no_requirements,
 }

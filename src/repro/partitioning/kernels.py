@@ -93,17 +93,51 @@ def iter_edge_chunks(
 ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Yield ``(edge_ids, src, dst)`` array chunks of an edge stream.
 
-    The sequential vertex-cut loops consume the stream as Python scalars;
-    converting one bounded chunk at a time keeps peak memory at
-    ``O(chunk_size)`` extra instead of three stream-length lists while
-    preserving arrival order exactly.
-    """
-    from repro.partitioning.base import edge_stream_arrays
+    Peak extra memory is ``O(chunk_size)`` on every path — the stream is
+    never materialised whole:
 
-    edge_ids, src, dst = edge_stream_arrays(stream)
-    for start in range(0, int(edge_ids.size), chunk_size):
-        stop = start + chunk_size
-        yield edge_ids[start:stop], src[start:stop], dst[start:stop]
+    * streams exposing ``iter_chunks(chunk_size)`` (the file-backed
+      :class:`repro.ingest.FileEdgeStream`) delegate to it and read
+      chunks straight off disk;
+    * graph-backed :class:`~repro.graph.stream.EdgeStream` objects slice
+      their permutation per chunk and gather only those edges;
+    * any other iterable of ``EdgeArrival``-shaped elements is buffered
+      one chunk at a time.
+
+    Arrival order is preserved exactly on all three paths.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    file_chunks = getattr(stream, "iter_chunks", None)
+    if callable(file_chunks):
+        yield from file_chunks(chunk_size)
+        return
+    graph = getattr(stream, "graph", None)
+    permutation = getattr(stream, "permutation", None)
+    if graph is not None and permutation is not None:
+        permutation = np.asarray(permutation, dtype=np.int64)
+        src, dst = graph.src, graph.dst
+        for start in range(0, int(permutation.size), chunk_size):
+            chunk_ids = permutation[start:start + chunk_size]
+            yield chunk_ids, src[chunk_ids], dst[chunk_ids]
+        return
+    ids: list = []
+    srcs: list = []
+    dsts: list = []
+    for arrival in stream:
+        edge_id, u, v = arrival
+        ids.append(edge_id)
+        srcs.append(u)
+        dsts.append(v)
+        if len(ids) >= chunk_size:
+            yield (np.asarray(ids, dtype=np.int64),
+                   np.asarray(srcs, dtype=np.int64),
+                   np.asarray(dsts, dtype=np.int64))
+            ids, srcs, dsts = [], [], []
+    if ids:
+        yield (np.asarray(ids, dtype=np.int64),
+               np.asarray(srcs, dtype=np.int64),
+               np.asarray(dsts, dtype=np.int64))
 
 
 def zip_chunked(*arrays: np.ndarray,
@@ -114,6 +148,8 @@ def zip_chunked(*arrays: np.ndarray,
     ``tolist`` on a bounded chunk is far cheaper than per-element
     ``arr[i]`` indexing and never materialises stream-length lists.
     """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     size = int(arrays[0].size)
     for start in range(0, size, chunk_size):
         stop = start + chunk_size
@@ -130,7 +166,14 @@ def streaming_partial_degrees(
     endpoints of edge ``i`` — exactly the state HDRF's θ term, DBH's
     partial mode and PowerGraph-greedy's degree comparison read.  A
     self-loop counts twice, matching two scalar increments.
+
+    This is the whole-stream form; when the stream cannot be held in
+    memory, :class:`repro.partitioning.degree_state.ExactDegreeTable`
+    accumulates the identical counters chunk by chunk (bit-identical for
+    any chunk layout) and is what the partitioners actually use.
     """
+    from repro.partitioning.degree_state import run_inclusive_ranks
+
     m = int(src.size)
     if m == 0:
         empty = np.zeros(0, dtype=np.int64)
@@ -138,18 +181,7 @@ def streaming_partial_degrees(
     interleaved = np.empty(2 * m, dtype=np.int64)
     interleaved[0::2] = src
     interleaved[1::2] = dst
-    order = np.argsort(interleaved, kind="stable")
-    sorted_values = interleaved[order]
-    is_run_start = np.empty(2 * m, dtype=bool)
-    is_run_start[0] = True
-    np.not_equal(sorted_values[1:], sorted_values[:-1], out=is_run_start[1:])
-    run_starts = np.flatnonzero(is_run_start)
-    run_lengths = np.diff(np.append(run_starts, 2 * m))
-    # Rank of each slot within its equal-value run = occurrences of the
-    # value among earlier slots; +1 converts to an inclusive count.
-    rank = np.arange(2 * m, dtype=np.int64) - np.repeat(run_starts, run_lengths)
-    occurrences = np.empty(2 * m, dtype=np.int64)
-    occurrences[order] = rank + 1
+    occurrences = run_inclusive_ranks(interleaved)
     d_src = occurrences[0::2] + (src == dst)
     d_dst = occurrences[1::2]
     return d_src, d_dst

@@ -10,6 +10,9 @@ The paper notes DBH "relies on a priori knowledge of degree information".
 We support both modes: exact degrees (taken from the stream's backing
 graph, the bulk-load setting) and partial degrees counted on the fly (the
 pure-streaming setting), selected by ``degrees="exact"|"partial"``.
+Partial mode runs chunk-at-a-time against a pluggable degree state
+(exact counters or a count-min sketch via ``state=``) through
+:class:`DbhCore`, so it also drives the out-of-core/sharded ingest path.
 """
 
 from __future__ import annotations
@@ -23,8 +26,44 @@ from repro.partitioning.base import (
     check_num_partitions,
     edge_stream_arrays,
 )
-from repro.partitioning.kernels import streaming_partial_degrees
+from repro.partitioning.degree_state import (
+    DEFAULT_SKETCH_DEPTH,
+    DEFAULT_SKETCH_WIDTH,
+    make_degree_state,
+)
+from repro.partitioning.kernels import iter_edge_chunks
 from repro.rng import SeededHash
+
+
+class DbhCore:
+    """Chunk-driven partial-degree DBH: hash the lower-degree endpoint.
+
+    DBH never reads partition loads, so ``rebase_sizes`` is a no-op —
+    present only so the sharded driver can treat every core uniformly.
+    """
+
+    algorithm = "dbh"
+
+    def __init__(self, num_partitions: int, hash_seed: int, *,
+                 degrees) -> None:
+        self.k = int(num_partitions)
+        self.hasher = SeededHash(self.k, hash_seed)
+        self.degrees = degrees
+        self.sizes = np.zeros(self.k, dtype=np.int64)
+
+    def rebase_sizes(self, global_sizes: np.ndarray) -> None:
+        np.copyto(self.sizes, global_sizes)
+
+    def state_nbytes(self) -> int:
+        return int(self.sizes.nbytes + self.degrees.nbytes)
+
+    def process_chunk(self, edge_ids: np.ndarray, src_arr: np.ndarray,
+                      dst_arr: np.ndarray, assignment: np.ndarray) -> None:
+        d_u, d_v = self.degrees.push(src_arr, dst_arr)
+        lower = np.where(d_u < d_v, src_arr, dst_arr)
+        choices = self.hasher(lower)
+        assignment[edge_ids] = choices
+        self.sizes += np.bincount(choices, minlength=self.k)
 
 
 class DbhPartitioner(EdgePartitioner):
@@ -32,16 +71,21 @@ class DbhPartitioner(EdgePartitioner):
 
     name = "dbh"
 
-    def __init__(self, hash_seed: int = 0, degrees: str = "exact"):
+    def __init__(self, hash_seed: int = 0, degrees: str = "exact",
+                 state: str = "exact",
+                 sketch_width: int = DEFAULT_SKETCH_WIDTH,
+                 sketch_depth: int = DEFAULT_SKETCH_DEPTH):
         if degrees not in ("exact", "partial"):
             raise ConfigurationError("degrees must be 'exact' or 'partial'")
         self.hash_seed = hash_seed
         self.degrees = degrees
+        self.state = state
+        self.sketch_width = sketch_width
+        self.sketch_depth = sketch_depth
 
     def partition_stream(self, stream, num_partitions: int, *,
                          num_vertices: int, num_edges: int) -> EdgePartition:
         k = check_num_partitions(num_partitions)
-        hasher = SeededHash(k, self.hash_seed)
         assignment = np.full(num_edges, -1, dtype=np.int32)
 
         if self.degrees == "exact":
@@ -52,16 +96,19 @@ class DbhPartitioner(EdgePartitioner):
                     "use degrees='partial' for external streams"
                 )
             # With a-priori degrees the rule is stateless: bulk-evaluate.
+            hasher = SeededHash(k, self.hash_seed)
             degree = graph.degree
             edge_ids, src, dst = edge_stream_arrays(stream)
             lower = np.where(degree[src] < degree[dst], src, dst)
             assignment[edge_ids] = hasher(lower)
         else:
-            # The partial-degree rule reads only the counters the scalar
-            # loop would hold at each arrival — which the kernel layer
-            # derives vectorized, so partial mode bulk-evaluates too.
-            edge_ids, src, dst = edge_stream_arrays(stream)
-            d_u, d_v = streaming_partial_degrees(src, dst)
-            lower = np.where(d_u < d_v, src, dst)
-            assignment[edge_ids] = hasher(lower)
+            # Partial mode reads only the counters a scalar loop would
+            # hold at each arrival — accumulated chunk by chunk, so
+            # file-backed streams never materialise.
+            state = make_degree_state(self.state, num_vertices,
+                                      sketch_width=self.sketch_width,
+                                      sketch_depth=self.sketch_depth)
+            core = DbhCore(k, self.hash_seed, degrees=state)
+            for edge_ids, src_arr, dst_arr in iter_edge_chunks(stream):
+                core.process_chunk(edge_ids, src_arr, dst_arr, assignment)
         return EdgePartition(k, assignment, algorithm=self.name)

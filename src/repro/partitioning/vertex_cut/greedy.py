@@ -15,6 +15,10 @@ The paper (Section 4.2.2) notes this formulation is sensitive to stream
 order — a BFS-ordered stream can collapse into a single partition because
 rule 1 always finds the previously used partition — which HDRF's λ term
 fixes.  The ablation bench measures exactly that contrast.
+
+Like HDRF, the scoring loop lives in a chunk-driven core
+(:class:`GreedyCore`) over a pluggable degree state, so the same rules
+run in-memory, out-of-core and sharded (:mod:`repro.ingest.shard`).
 """
 
 from __future__ import annotations
@@ -25,39 +29,52 @@ from repro.partitioning.base import (
     EdgePartition,
     EdgePartitioner,
     check_num_partitions,
-    edge_stream_arrays,
+)
+from repro.partitioning.degree_state import (
+    DEFAULT_SKETCH_DEPTH,
+    DEFAULT_SKETCH_WIDTH,
+    make_degree_state,
 )
 from repro.partitioning.kernels import (
     argmin_with_ties_inline,
-    streaming_partial_degrees,
+    iter_edge_chunks,
     zip_chunked,
 )
 from repro.rng import make_rng
 
 
-class GreedyVertexCutPartitioner(EdgePartitioner):
-    """PowerGraph-style greedy vertex-cut streaming partitioner."""
+class GreedyCore:
+    """Incremental PowerGraph-greedy state, fed one edge chunk at a time."""
 
-    name = "greedy"
+    algorithm = "greedy"
 
-    def __init__(self, seed=None):
-        self.seed = seed
+    def __init__(self, num_partitions: int, num_vertices: int, *,
+                 degrees, rng: np.random.Generator | None) -> None:
+        self.k = int(num_partitions)
+        self.rng = rng
+        self.degrees = degrees
+        self.sizes = np.zeros(self.k, dtype=np.int64)
+        self.replicas = np.zeros((int(num_vertices), self.k), dtype=bool)
+        self._common = np.empty(self.k, dtype=bool)
+        self._everyone = np.arange(self.k)
 
-    def partition_stream(self, stream, num_partitions: int, *,
-                         num_vertices: int, num_edges: int) -> EdgePartition:
-        k = check_num_partitions(num_partitions)
-        rng = make_rng(self.seed)
-        assignment = np.full(num_edges, -1, dtype=np.int32)
-        sizes = np.zeros(k, dtype=np.int64)
-        replicas = np.zeros((num_vertices, k), dtype=bool)
+    def rebase_sizes(self, global_sizes: np.ndarray) -> None:
+        """Re-anchor the least-loaded comparisons on a synced snapshot."""
+        np.copyto(self.sizes, global_sizes)
 
-        # Rule 2's degree comparison reads the partial-degree counters a
-        # scalar loop would hold; the kernel layer derives them for the
-        # whole stream vectorized, so the loop carries no counters.
-        edge_ids, src_arr, dst_arr = edge_stream_arrays(stream)
-        d_u, d_v = streaming_partial_degrees(src_arr, dst_arr)
-        common = np.empty(k, dtype=bool)
-        everyone = np.arange(k)
+    def state_nbytes(self) -> int:
+        return int(self.sizes.nbytes + self.replicas.nbytes +
+                   self._common.nbytes + self._everyone.nbytes +
+                   self.degrees.nbytes)
+
+    def process_chunk(self, edge_ids: np.ndarray, src_arr: np.ndarray,
+                      dst_arr: np.ndarray, assignment: np.ndarray) -> None:
+        d_u, d_v = self.degrees.push(src_arr, dst_arr)
+        replicas = self.replicas
+        sizes = self.sizes
+        common = self._common
+        everyone = self._everyone
+        rng = self.rng
         for edge_id, src, dst, du, dv in zip_chunked(edge_ids, src_arr,
                                                      dst_arr, d_u, d_v):
             mask_u = replicas[src]
@@ -84,4 +101,30 @@ class GreedyVertexCutPartitioner(EdgePartitioner):
             sizes[choice] += 1
             replicas[src, choice] = True
             replicas[dst, choice] = True
+
+
+class GreedyVertexCutPartitioner(EdgePartitioner):
+    """PowerGraph-style greedy vertex-cut streaming partitioner."""
+
+    name = "greedy"
+
+    def __init__(self, seed=None, state: str = "exact",
+                 sketch_width: int = DEFAULT_SKETCH_WIDTH,
+                 sketch_depth: int = DEFAULT_SKETCH_DEPTH):
+        self.seed = seed
+        self.state = state
+        self.sketch_width = sketch_width
+        self.sketch_depth = sketch_depth
+
+    def partition_stream(self, stream, num_partitions: int, *,
+                         num_vertices: int, num_edges: int) -> EdgePartition:
+        k = check_num_partitions(num_partitions)
+        assignment = np.full(num_edges, -1, dtype=np.int32)
+        degrees = make_degree_state(self.state, num_vertices,
+                                    sketch_width=self.sketch_width,
+                                    sketch_depth=self.sketch_depth)
+        core = GreedyCore(k, num_vertices, degrees=degrees,
+                          rng=make_rng(self.seed))
+        for edge_ids, src_arr, dst_arr in iter_edge_chunks(stream):
+            core.process_chunk(edge_ids, src_arr, dst_arr, assignment)
         return EdgePartition(k, assignment, algorithm=self.name)

@@ -48,6 +48,10 @@ METRIC_NAMES = (
     "gas.recoveries",
     "gas.reexecuted_supersteps",
     "gas.supersteps",
+    "ingest.edges",
+    "ingest.peak_bytes",
+    "ingest.spilled_edges",
+    "ingest.sync_rounds",
     "orchestrator.computed.*",
     "orchestrator.job.wall_seconds",
     "service.epoch.applied_mutations",

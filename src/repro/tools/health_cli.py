@@ -60,6 +60,28 @@ def sparkline(values) -> str:
     return "".join(SPARK_CHARS[int((v - low) * scale)] for v in values)
 
 
+def ingest_health() -> dict | None:
+    """Process-global out-of-core ingest gauges, or None before any run.
+
+    The ingest subsystem (``docs/scaling.md``) publishes its footprint to
+    the shared registry — ``ingest.peak_bytes`` is the peak tracked
+    resident state of the last sharded run.  Returned only when an
+    ingest actually ran in this process, so dashboards that never touch
+    the subsystem stay byte-identical across runs.
+    """
+    from repro import telemetry
+
+    registry = telemetry.get_metrics()
+    if "ingest.peak_bytes" not in registry:
+        return None
+    return {
+        "peak_bytes": int(registry.value("ingest.peak_bytes")),
+        "edges": int(registry.value("ingest.edges")),
+        "sync_rounds": int(registry.value("ingest.sync_rounds")),
+        "spilled_edges": int(registry.value("ingest.spilled_edges")),
+    }
+
+
 def render_dashboard(result: ServiceResult) -> str:
     """The full terminal dashboard for one service run."""
     lines: list[str] = []
@@ -107,6 +129,14 @@ def render_dashboard(result: ServiceResult) -> str:
                 f"  budget {alert.budget_consumed:.0%}")
     else:
         lines.append("alert log: empty — every objective held")
+    ingest = ingest_health()
+    if ingest is not None:
+        lines.append("")
+        lines.append(f"ingest: peak {ingest['peak_bytes']:,} bytes resident "
+                     f"over {ingest['edges']:,} edges "
+                     f"({ingest['sync_rounds']} sync rounds, "
+                     f"{ingest['spilled_edges']:,} edges spilled)")
+
     lines.append("")
     lines.append(f"timeline digest:      {result.digest()}")
     lines.append(f"observability digest: {result.observability_digest()}")
@@ -115,12 +145,16 @@ def render_dashboard(result: ServiceResult) -> str:
 
 def health_payload(result: ServiceResult) -> dict:
     """The canonical machine-readable health document."""
-    return {
+    payload = {
         "schema": "repro.health/1",
         "observability": result.observability(),
         "timeline_digest": result.digest(),
         "observability_digest": result.observability_digest(),
     }
+    ingest = ingest_health()
+    if ingest is not None:
+        payload["ingest"] = ingest
+    return payload
 
 
 def write_artifacts(result: ServiceResult, out_dir: str) -> list[str]:

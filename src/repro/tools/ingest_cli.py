@@ -1,0 +1,174 @@
+"""``repro ingest`` — spill, inspect and partition on-disk edge streams.
+
+The shell face of the out-of-core subsystem (``docs/scaling.md``): spill
+a synthetic stream to the ``.redg`` format once, then partition it any
+number of times without ever materialising the graph.
+
+Examples::
+
+    repro ingest spill rmat out.redg --scale 18 --seed 7
+    repro ingest spill powerlaw out.redg --num-vertices 100000
+    repro ingest info out.redg --json
+    repro ingest partition out.redg -a hdrf -k 16 --shards 4 --workers 4
+    repro ingest partition out.redg -a hdrf --state sketch --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.ingest import (
+    DEFAULT_SYNC_INTERVAL,
+    SHARD_ALGORITHMS,
+    EdgeStreamFile,
+    ShardConfig,
+    full_materialization_bytes,
+    run_file_ingest,
+    spill_powerlaw,
+    spill_rmat,
+)
+from repro.partitioning.degree_state import (
+    DEFAULT_SKETCH_DEPTH,
+    DEFAULT_SKETCH_WIDTH,
+    DEGREE_STATES,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro ingest",
+        description="Out-of-core edge streams: spill generators to the "
+                    ".redg on-disk format, inspect stream files, and run "
+                    "the sharded bounded-memory partitioner over them.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    spill = verbs.add_parser(
+        "spill", help="generate a synthetic stream straight to disk")
+    spill.add_argument("generator", choices=("rmat", "powerlaw"))
+    spill.add_argument("output", help="destination .redg file")
+    spill.add_argument("--scale", type=int, default=16,
+                       help="rmat: log2 of the vertex count (default 16)")
+    spill.add_argument("--edge-factor", type=float, default=16.0,
+                       help="rmat: edges per vertex (default 16)")
+    spill.add_argument("--num-vertices", type=int, default=1 << 16,
+                       help="powerlaw: vertex count (default 65536)")
+    spill.add_argument("--avg-out-degree", type=float, default=16.0,
+                       help="powerlaw: average out-degree (default 16)")
+    spill.add_argument("--seed", type=int, default=0)
+    spill.add_argument("--json", action="store_true",
+                       help="emit the stream description as JSON")
+
+    info = verbs.add_parser("info", help="describe an existing .redg file")
+    info.add_argument("input", help=".redg stream file")
+    info.add_argument("--json", action="store_true")
+
+    part = verbs.add_parser(
+        "partition", help="shard-partition a .redg stream in bounded memory")
+    part.add_argument("input", help=".redg stream file")
+    part.add_argument("-a", "--algorithm", default="hdrf",
+                      choices=SHARD_ALGORITHMS)
+    part.add_argument("-k", "--partitions", type=int, default=8)
+    part.add_argument("--state", default="exact", choices=DEGREE_STATES,
+                      help="degree state: exact tables or a count-min "
+                           "sketch (default exact)")
+    part.add_argument("--shards", type=int, default=1,
+                      help="contiguous stream segments partitioned "
+                           "concurrently (default 1 = sequential)")
+    part.add_argument("--sync-interval", type=int,
+                      default=DEFAULT_SYNC_INTERVAL,
+                      help="arrivals each shard processes between load-"
+                           f"vector syncs (default {DEFAULT_SYNC_INTERVAL})")
+    part.add_argument("--workers", type=int, default=1,
+                      help="worker processes (results are identical for "
+                           "any worker count; default 1)")
+    part.add_argument("--seed", type=int, default=0)
+    part.add_argument("--sketch-width", type=int, default=DEFAULT_SKETCH_WIDTH)
+    part.add_argument("--sketch-depth", type=int, default=DEFAULT_SKETCH_DEPTH)
+    part.add_argument("--no-quality", action="store_true",
+                      help="skip the chunked quality pass over the stream")
+    part.add_argument("--json", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.verb == "spill":
+            return _spill(args)
+        if args.verb == "info":
+            return _info(args)
+        return _partition(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _spill(args) -> int:
+    if args.generator == "rmat":
+        path = spill_rmat(args.output, args.scale, args.edge_factor,
+                          seed=args.seed)
+    else:
+        path = spill_powerlaw(args.output, args.num_vertices,
+                              args.avg_out_degree, seed=args.seed)
+    description = EdgeStreamFile(path).describe()
+    if args.json:
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+    print(f"spilled    : {description['num_edges']:,} edges over "
+          f"{description['num_vertices']:,} vertices")
+    print(f"file       : {description['path']} "
+          f"({description['payload_bytes']:,} payload bytes, "
+          f"{description['num_chunks']} chunks)")
+    return 0
+
+
+def _info(args) -> int:
+    description = EdgeStreamFile(args.input).describe()
+    if args.json:
+        print(json.dumps(description, indent=2, sort_keys=True))
+        return 0
+    for key in sorted(description):
+        print(f"{key:18s}: {description[key]}")
+    return 0
+
+
+def _partition(args) -> int:
+    config = ShardConfig(
+        algorithm=args.algorithm,
+        num_partitions=args.partitions,
+        state=args.state,
+        num_shards=args.shards,
+        sync_interval=args.sync_interval,
+        workers=args.workers,
+        seed=args.seed,
+        sketch_width=args.sketch_width,
+        sketch_depth=args.sketch_depth,
+    )
+    summary = run_file_ingest(args.input, config,
+                              with_quality=not args.no_quality)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"stream     : {summary['num_vertices']:,} vertices, "
+          f"{summary['num_edges']:,} edges")
+    print(f"config     : {args.algorithm} k={args.partitions} "
+          f"state={args.state} shards={args.shards} "
+          f"sync={args.sync_interval} workers={args.workers}")
+    print(f"rounds     : {summary['rounds']}")
+    print(f"digest     : {summary['digest'][:16]}")
+    full = full_materialization_bytes(summary["num_vertices"],
+                                      summary["num_edges"])
+    print(f"peak bytes : {summary['peak_tracked_bytes']:,} tracked "
+          f"(full materialisation would be {full:,})")
+    if "replication_factor" in summary:
+        print(f"replication: {summary['replication_factor']:.4f}")
+        print(f"imbalance  : {summary['load_imbalance']:.4f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -152,6 +152,59 @@ class TestStreamHelpers:
         for whole_arr, parts in zip(whole, zip(*chunks)):
             assert np.array_equal(np.concatenate(parts), whole_arr)
 
+    def test_iter_edge_chunks_empty_stream(self):
+        assert list(iter_edge_chunks(iter([]), chunk_size=4)) == []
+
+    def test_iter_edge_chunks_exact_boundary(self):
+        arrivals = [(i, i, i + 1) for i in range(6)]
+        chunks = list(iter_edge_chunks(iter(arrivals), chunk_size=3))
+        assert [ids.size for ids, _, _ in chunks] == [3, 3]  # no empty tail
+        assert np.concatenate([ids for ids, _, _ in chunks]).tolist() == \
+            list(range(6))
+
+    def test_iter_edge_chunks_single_element(self):
+        chunks = list(iter_edge_chunks(iter([(7, 1, 2)]), chunk_size=64))
+        assert len(chunks) == 1
+        ids, src, dst = chunks[0]
+        assert (ids.tolist(), src.tolist(), dst.tolist()) == ([7], [1], [2])
+
+    def test_iter_edge_chunks_delegates_to_file_fast_path(self):
+        class FakeFileStream:
+            def iter_chunks(self, chunk_size):
+                yield (np.array([0]), np.array([1]), np.array([2]))
+                yield (np.array([chunk_size]), np.array([3]), np.array([4]))
+
+        chunks = list(iter_edge_chunks(FakeFileStream(), chunk_size=99))
+        assert len(chunks) == 2
+        assert chunks[1][0].tolist() == [99]  # chunk_size passed through
+
+    def test_iter_edge_chunks_rejects_bad_chunk_size(self, tiny_graph):
+        from repro.graph.stream import EdgeStream
+        with pytest.raises(ValueError):
+            list(iter_edge_chunks(EdgeStream(tiny_graph), chunk_size=0))
+
+    def test_zip_chunked_empty_arrays(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert list(zip_chunked(empty, empty, chunk_size=4)) == []
+
+    def test_zip_chunked_exact_boundary_and_unit_chunks(self):
+        a = np.arange(6)
+        b = np.arange(6) * 3
+        expected = list(zip(a.tolist(), b.tolist()))
+        assert list(zip_chunked(a, b, chunk_size=2)) == expected
+        assert list(zip_chunked(a, b, chunk_size=1)) == expected
+
+    def test_zip_chunked_yields_python_scalars(self):
+        pairs = list(zip_chunked(np.array([1.5]), np.array([2]),
+                                 chunk_size=8))
+        assert pairs == [(1.5, 2)]
+        assert isinstance(pairs[0][0], float)
+        assert isinstance(pairs[0][1], int)
+
+    def test_zip_chunked_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(zip_chunked(np.arange(3), chunk_size=0))
+
     def test_streaming_partial_degrees_match_scalar_counters(self):
         rng = np.random.default_rng(42)
         src = rng.integers(0, 12, 200)

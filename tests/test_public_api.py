@@ -19,9 +19,18 @@ PUBLIC_MODULES = (
     "repro.faults",
     "repro.graph",
     "repro.graph.generators",
+    "repro.ingest",
+    "repro.ingest.format",
+    "repro.ingest.memory",
+    "repro.ingest.pipeline",
+    "repro.ingest.quality",
+    "repro.ingest.reader",
+    "repro.ingest.shard",
+    "repro.ingest.writer",
     "repro.metrics",
     "repro.orchestrator",
     "repro.partitioning",
+    "repro.partitioning.degree_state",
     "repro.partitioning.kernels",
     "repro.service",
     "repro.telemetry",

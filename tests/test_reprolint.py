@@ -57,7 +57,7 @@ class TestRealTree:
         assert codes == sorted(codes)
         assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
                          "RL006", "RL101", "RL102", "RL103", "RL104",
-                         "RL105", "RL106", "RL107"]
+                         "RL105", "RL106", "RL107", "RL108"]
         assert all(rule.summary for rule in all_rules())
 
 
@@ -602,6 +602,83 @@ class TestOtherContracts:
                 "    metrics.counter(f'cache.{outcome}').inc()\n"
                 "    gauge = metrics.gauge\n"
                 "    gauge('db.lag').set(0.5)\n",
+        })
+        assert [f.code for f in findings] == []
+
+
+    def test_rl108_memmap_outside_ingest(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/graph/cachefile.py":
+                "import numpy as np\n"
+                "def load(path):\n"
+                "    return np.memmap(path, dtype='<u8', mode='r')\n",
+        })
+        finding = single(findings, "RL108")
+        assert "memmap" in finding.message
+        assert finding.line == 3
+
+    def test_rl108_binary_open_outside_ingest(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/database/dump.py":
+                "def save(path, blob):\n"
+                "    with open(path, 'wb') as fh:\n"
+                "        fh.write(blob)\n",
+        })
+        finding = single(findings, "RL108")
+        assert "binary-mode open()" in finding.message
+        assert finding.path.endswith("database/dump.py")
+
+    def test_rl108_cache_module_is_allowlisted(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/orchestrator/cache.py":
+                "def save(path, blob):\n"
+                "    with open(path, mode='wb') as fh:\n"
+                "        fh.write(blob)\n",
+        })
+        assert findings == []
+
+    def test_rl108_writer_must_reference_format_constants(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/ingest/format.py":
+                "MAGIC = b'REPROEDG'\n"
+                "FORMAT_VERSION = 1\n",
+            "repro/ingest/writer.py":
+                "from repro.ingest.format import FORMAT_VERSION\n"
+                "def write(fh):\n"
+                "    fh.write(bytes([FORMAT_VERSION]))\n",
+        })
+        finding = single(findings, "RL108")
+        assert "MAGIC" in finding.message
+        assert finding.path.endswith("ingest/writer.py")
+
+    def test_rl108_magic_must_be_a_bytes_literal(self, tmp_path):
+        findings = findings_for(tmp_path, {
+            "repro/ingest/format.py":
+                "MAGIC = 'REPROEDG'\n"   # str, not bytes
+                "FORMAT_VERSION = 1\n",
+        })
+        finding = single(findings, "RL108")
+        assert "bytes literal" in finding.message
+
+    def test_rl108_clean_ingest_fixture(self, tmp_path):
+        # Binary I/O and memmap are fine *inside* repro.ingest, and both
+        # sides of the format reference the shared constants.
+        findings = findings_for(tmp_path, {
+            "repro/ingest/format.py":
+                "MAGIC = b'REPROEDG'\n"
+                "FORMAT_VERSION = 1\n",
+            "repro/ingest/writer.py":
+                "from repro.ingest.format import FORMAT_VERSION, MAGIC\n"
+                "def write(path):\n"
+                "    with open(path, 'wb') as fh:\n"
+                "        fh.write(MAGIC)\n"
+                "        fh.write(bytes([FORMAT_VERSION]))\n",
+            "repro/ingest/reader.py":
+                "import numpy as np\n"
+                "from repro.ingest.format import FORMAT_VERSION, MAGIC\n"
+                "def read(path):\n"
+                "    data = np.memmap(path, dtype='<u8', mode='r')\n"
+                "    return MAGIC, FORMAT_VERSION, data\n",
         })
         assert [f.code for f in findings] == []
 
