@@ -49,6 +49,7 @@ from repro.graph.digraph import Graph
 from repro.metrics.runtime import LatencySummary, latency_summary
 from repro.telemetry import get_tracer
 from repro.telemetry.metrics import MetricsRegistry
+from repro.tools import sanitize
 
 #: Wire size of one vertex record (id + properties + framing).
 BYTES_PER_VERTEX_RECORD = 128.0
@@ -633,8 +634,14 @@ class ClosedLoopSimulation:
                 push(float(when), "background",
                      (int(worker_id), float(seconds)))
 
+        sanitizing = sanitize.ACTIVE
+        last_event_time = 0.0
         while events:
             event = heapq.heappop(events)
+            if sanitizing:
+                sanitize.check_event_time(event.time, last_event_time,
+                                          "database.simulation.event_loop")
+                last_event_time = event.time
             if sampling:
                 while next_tick <= event.time and next_tick < duration:
                     sampler.sample(next_tick)

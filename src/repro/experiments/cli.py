@@ -44,6 +44,7 @@ examples:
   repro figure1 --trace t.jsonl     record a telemetry trace
   repro trace t.jsonl               profile a recorded trace
   repro lint src tests              check determinism/registry invariants
+  repro sanitize                    hash-seed double-run digest diff
   repro serve-sim                   run the online partitioning service
   repro health --out artifacts/     SLO dashboard + OpenMetrics exports
   repro ingest spill rmat s.redg --scale 18    spill a stream to disk
@@ -63,6 +64,11 @@ def main(argv=None) -> int:
         # `python -m repro lint ...` is the same as the repro-lint script.
         from repro.tools.lint.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv[:1] == ["sanitize"]:
+        # Runtime determinism sanitizer (docs/static_analysis.md):
+        # REPRO_SANITIZE=1 double-run with perturbed hash seeds.
+        from repro.tools.sanitize import main as sanitize_main
+        return sanitize_main(argv[1:])
     if argv[:1] == ["serve-sim"]:
         # The online partitioning service (docs/online_service.md);
         # `python -m repro serve-sim --help` lists the scenario knobs.

@@ -48,6 +48,7 @@ from repro.partitioning.vertex_cut.dbh import DbhCore
 from repro.partitioning.vertex_cut.greedy import GreedyCore
 from repro.partitioning.vertex_cut.hdrf import HdrfCore
 from repro.rng import make_rng, splitmix64
+from repro.tools import sanitize
 
 __all__ = [
     "SHARD_ALGORITHMS",
@@ -235,6 +236,10 @@ class _ShardRunner:
 def _worker_loop(conn, path: str, num_vertices: int, num_edges: int,
                  config: ShardConfig, shard_items) -> None:
     """Worker-process entry: host a fixed set of logical shards."""
+    if sanitize.ACTIVE:
+        # Shard order decides round interleaving; a set here would make
+        # it hash-seed dependent per worker process.
+        sanitize.check_not_set(shard_items, "ingest.shard._worker_loop")
     runners = [_ShardRunner(path, index, segment, num_vertices, num_edges,
                             config) for index, segment in shard_items]
     try:
@@ -273,6 +278,9 @@ def _run_serial(path, num_vertices, num_edges, config, segments,
             if contribution is not None:
                 delta += contribution
         global_sizes += delta
+        if sanitize.ACTIVE:
+            sanitize.check_delta_merge(global_sizes, delta,
+                                       "ingest.shard._run_serial")
         rounds += 1
     payload = [(runner.shard_index, runner.start, runner.stop,
                 runner.assignment, runner.stats()) for runner in runners]
@@ -313,6 +321,9 @@ def _run_parallel(path, num_vertices, num_edges, config, segments,
                 delta += worker_delta
                 live += worker_live
             global_sizes += delta
+            if sanitize.ACTIVE:
+                sanitize.check_delta_merge(global_sizes, delta,
+                                           "ingest.shard._run_parallel")
             rounds += 1
         payload = []
         for conn in pipes:

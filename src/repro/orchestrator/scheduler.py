@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -376,7 +377,11 @@ def _run_parallel(plan, order, tasks, jobs, progress, observe_job=None):
 
     total = len(order)
     completed = 0
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # Spawn, not the platform default: fork would hand workers a warm
+    # copy of the parent (imported modules, registry state), so serial
+    # and parallel runs could diverge on what a worker has preloaded.
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         futures = {}
 
         def submit_ready():

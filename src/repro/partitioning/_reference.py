@@ -200,8 +200,10 @@ class ReferenceRestreamingFennel(_ReferenceRestreamingBase):
                  alpha: float | None = None, load_cap: float = 1.1,
                  alpha_growth: float = 1.5, seed=None):
         super().__init__(num_passes=num_passes, seed=seed)
+        # Parameter template only (never streams); seeded anyway so the
+        # seed lane is complete end to end.
         self._template = ReferenceFennel(gamma=gamma, alpha=alpha,
-                                         load_cap=load_cap)
+                                         load_cap=load_cap, seed=seed)
         self.alpha_growth = alpha_growth
         self._alpha = 0.0
         self._pass_alpha = 0.0

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import splitmix64
+from repro.tools import sanitize
 
 __all__ = [
     "DEFAULT_SKETCH_DEPTH",
@@ -216,7 +217,7 @@ class CountMinSketch:
         if n == 0:
             return np.zeros(0, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
-        estimates = None
+        estimates: np.ndarray | None = None
         for row in range(self.depth):
             slots = self._slots(values, row)
             row_estimate = self._table[row, slots] + run_inclusive_ranks(slots)
@@ -227,6 +228,10 @@ class CountMinSketch:
             else:
                 np.minimum(estimates, row_estimate, out=estimates)
         assert estimates is not None
+        if sanitize.ACTIVE:
+            # Counters only grow; a negative cell is int64 wraparound.
+            sanitize.check_sizes(self._table.reshape(-1),
+                                 "degree_state.CountMinSketch")
         return estimates
 
 
@@ -271,7 +276,7 @@ def make_degree_state(
     sketch_width: int = DEFAULT_SKETCH_WIDTH,
     sketch_depth: int = DEFAULT_SKETCH_DEPTH,
     sketch_seed: int = 0,
-):
+) -> "ExactDegreeTable | SketchDegreeTable":
     """Build the degree state selected by a partitioner's ``state=``."""
     if state == "exact":
         return ExactDegreeTable(num_vertices)

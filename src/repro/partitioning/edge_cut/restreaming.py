@@ -112,8 +112,10 @@ class RestreamingFennelPartitioner(_RestreamingBase):
                  alpha: float | None = None, load_cap: float = 1.1,
                  alpha_growth: float = 1.5, seed=None):
         super().__init__(num_passes=num_passes, seed=seed)
+        # Parameter template only (never streams); seeded anyway so the
+        # seed lane is complete end to end.
         self._template = FennelPartitioner(gamma=gamma, alpha=alpha,
-                                           load_cap=load_cap)
+                                           load_cap=load_cap, seed=seed)
         self.alpha_growth = alpha_growth
         self._alpha = 0.0
         self._gamma = gamma

@@ -42,6 +42,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.graph.digraph import Graph
+from repro.tools import sanitize
 
 __all__ = [
     "DEFAULT_EDGE_CHUNK",
@@ -294,6 +295,9 @@ class _EdgeCutKernel:
         """Slots as an ``int32`` assignment with the UNASSIGNED sentinel."""
         from repro.partitioning.base import UNASSIGNED
 
+        if sanitize.ACTIVE:
+            sanitize.check_sizes(self.sizes,
+                                 "kernels._EdgeCutKernel.export_assignment")
         assignment = np.where(self.slots == self.k, UNASSIGNED, self.slots)
         return assignment.astype(np.int32)
 
@@ -314,7 +318,13 @@ class LdgKernel(_EdgeCutKernel):
         self._availability = np.ones(self.k, dtype=np.float64)
 
     def score_counts(self, counts: np.ndarray) -> np.ndarray:
+        if sanitize.ACTIVE:
+            sanitize.check_no_alias(self.scores, counts,
+                                    "kernels.LdgKernel.score_counts")
         np.multiply(counts[:self.k], self._availability, out=self.scores)
+        if sanitize.ACTIVE:
+            sanitize.check_scores(self.scores,
+                                  "kernels.LdgKernel.score_counts")
         return self.scores
 
     def score(self, neighbors: np.ndarray) -> np.ndarray:
@@ -350,7 +360,14 @@ class FennelKernel(_EdgeCutKernel):
         self._penalty = np.zeros(self.k, dtype=np.float64)
 
     def score_counts(self, counts: np.ndarray) -> np.ndarray:
+        if sanitize.ACTIVE:
+            sanitize.check_no_alias(self.scores, counts,
+                                    "kernels.FennelKernel.score_counts")
         np.subtract(counts[:self.k], self._penalty, out=self.scores)
+        if sanitize.ACTIVE:
+            # -inf is legitimate here (full partitions); NaN is not.
+            sanitize.check_scores(self.scores,
+                                  "kernels.FennelKernel.score_counts")
         return self.scores
 
     def score(self, neighbors: np.ndarray) -> np.ndarray:

@@ -52,6 +52,7 @@ from repro.telemetry import get_tracer
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.slo import AlertEvent, SloEvaluator, default_service_slos
 from repro.telemetry.timeseries import MetricSample, TimeSeriesSampler
+from repro.tools import sanitize
 
 
 @dataclass(frozen=True)
@@ -346,6 +347,9 @@ class PartitionedGraphService:
 
             # --- Drift observation on the epoch's final state.
             snapshot = self._incr.to_partition()
+            if sanitize.ACTIVE:
+                sanitize.check_sizes(snapshot.sizes(),
+                                     "service.core.epoch_snapshot")
             sample = self._monitor.observe(epoch, t1, graph, snapshot)
             drift_samples.append(sample)
 

@@ -5,8 +5,11 @@ repo enforces that contract by *convention*: everything stochastic draws
 randomness through :mod:`repro.rng`, simulated-time substrates never read
 the wall clock, and the partitioner registry's ``accepts_seed`` flags match
 the constructor signatures.  Conventions drift.  ``reprolint`` turns each
-one into a static rule (codes ``RL001``–``RL105``) checked over the AST, so
-a determinism violation is caught in review — before it silently changes
+one into a static rule checked over the AST: per-file determinism rules
+(``RL0xx``), cross-module registry/contract rules (``RL1xx``) and
+whole-program dataflow rules over the project call graph (``RL2xx`` —
+seed provenance, wall-clock purity, process-boundary hygiene).  A
+determinism violation is caught in review — before it silently changes
 every downstream assignment, poisons a cache key, or breaks the
 serial≡parallel digest guarantee.
 

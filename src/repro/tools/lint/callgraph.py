@@ -1,0 +1,302 @@
+"""Project-wide call graph for interprocedural lint rules.
+
+The per-file rules in :mod:`rules_determinism` can flag a raw
+``np.random`` call, but they cannot tell whether a seed actually
+*reaches* a partitioner three calls away, or whether a helper reachable
+from the discrete-event simulator reads the wall clock.  This module
+builds the whole-program structure those questions need:
+
+* every function/method in the project, keyed by a stable qualname
+  (``repro.ingest.shard._worker_loop``,
+  ``repro.partitioning.streaming.LdgPartitioner.__init__``);
+* a conservative call-edge relation between them.
+
+Resolution is deliberately best-effort: module-local names, ``from
+repro.x import f`` imports, ``repro.x.f`` attribute calls on imported
+modules, ``self.method()`` dispatch through the class/base hierarchy,
+and constructor calls (``Cls(...)`` resolves to ``Cls.__init__``).
+Anything dynamic — a factory held in a variable, ``getattr``, a callback
+parameter — resolves to nothing, which keeps the downstream rules free
+of speculative false positives at the cost of missing exotic flows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.tools.lint.engine import Module, Project
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: Module
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def params(self) -> list:
+        """Positional/keyword parameter names, ``self``/``cls`` included."""
+        args = self.node.args  # type: ignore[attr-defined]
+        return [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+
+    def param_default(self, param: str) -> ast.AST | None:
+        """The default-value expression for *param*, if it has one."""
+        args = self.node.args  # type: ignore[attr-defined]
+        positional = args.posonlyargs + args.args
+        tail = positional[len(positional) - len(args.defaults):]
+        for arg, default in zip(tail, args.defaults):
+            if arg.arg == param:
+                return default
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if arg.arg == param and default is not None:
+                return default
+        return None
+
+
+@dataclass
+class CallSite:
+    """A resolved call: *call* in *caller* targets *callee* qualname."""
+
+    caller: str  # qualname of enclosing function ('' at module level)
+    callee: str
+    call: ast.Call
+    module: Module
+
+
+@dataclass
+class _ClassInfo:
+    module_name: str
+    name: str
+    bases: list = field(default_factory=list)  # resolved "mod.Cls" keys
+    methods: dict = field(default_factory=dict)  # method name -> qualname
+
+
+def _function_defs(body: list) -> list:
+    return [n for n in body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+class CallGraph:
+    """Functions, classes, imports and resolved call edges for a project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        #: qualname -> FunctionInfo
+        self.functions: dict = {}
+        #: "module.Class" -> _ClassInfo
+        self.classes: dict = {}
+        #: module name -> {local name -> dotted target}
+        self.imports: dict = {}
+        #: caller qualname -> set of callee qualnames
+        self.edges: dict = {}
+        #: every resolved call site, in deterministic module/position order
+        self.call_sites: list = []
+        for module in sorted(project.package_modules(),
+                             key=lambda m: m.module_name):
+            self._index_module(module)
+        for module in sorted(project.package_modules(),
+                             key=lambda m: m.module_name):
+            self._resolve_module(module)
+
+    # ------------------------------------------------------------------
+    # Indexing pass: definitions and imports.
+    # ------------------------------------------------------------------
+    def _index_module(self, module: Module) -> None:
+        name = module.module_name
+        imports: dict = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:  # relative: resolve against this module
+                    parent = name.split(".")[:-node.level]
+                    base = ".".join(parent + [node.module])
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node, imports)
+        self.imports[name] = imports
+
+    def _add_function(self, module: Module, node: ast.AST,
+                      class_name: str | None) -> FunctionInfo:
+        scope = f"{module.module_name}.{class_name}" if class_name \
+            else module.module_name
+        info = FunctionInfo(qualname=f"{scope}.{node.name}",  # type: ignore[attr-defined]
+                            module=module, node=node, class_name=class_name)
+        self.functions[info.qualname] = info
+        return info
+
+    def _index_class(self, module: Module, node: ast.ClassDef,
+                     imports: dict) -> None:
+        info = _ClassInfo(module_name=module.module_name, name=node.name)
+        for base in node.bases:
+            resolved = self._resolve_class_ref(module, base, imports)
+            if resolved:
+                info.bases.append(resolved)
+        for method in _function_defs(node.body):
+            fn = self._add_function(module, method, class_name=node.name)
+            info.methods[method.name] = fn.qualname
+        self.classes[f"{module.module_name}.{node.name}"] = info
+
+    def _resolve_class_ref(self, module: Module, node: ast.AST,
+                           imports: dict) -> str | None:
+        if isinstance(node, ast.Name):
+            target = imports.get(node.id)
+            if target:
+                return target
+            return f"{module.module_name}.{node.id}"
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            head = imports.get(node.value.id, node.value.id)
+            return f"{head}.{node.attr}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Resolution pass: call edges.
+    # ------------------------------------------------------------------
+    def _resolve_module(self, module: Module) -> None:
+        name = module.module_name
+        stack: list = []  # (FunctionInfo | None) enclosing-function stack
+
+        graph = self
+
+        class _Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.class_name: str | None = None
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                previous, self.class_name = self.class_name, node.name
+                self.generic_visit(node)
+                self.class_name = previous
+
+            def _visit_function(self, node: ast.AST) -> None:
+                qualname = graph._qualname_of(name, node, self.class_name)
+                stack.append(qualname)
+                self.generic_visit(node)
+                stack.pop()
+
+            visit_FunctionDef = _visit_function
+            visit_AsyncFunctionDef = _visit_function
+
+            def visit_Call(self, node: ast.Call) -> None:
+                # Attribute calls inside closures/nested defs to the
+                # nearest *indexed* enclosing function: invoking it is
+                # the only way the closure runs, so purity- and
+                # seed-flow-wise they are one unit.
+                caller = next(
+                    (q for q in reversed(stack) if q in graph.functions),
+                    "")
+                callee = graph._resolve_call(module, node,
+                                             caller_class=self.class_name)
+                if callee is not None:
+                    graph.edges.setdefault(caller, set()).add(callee)
+                    graph.call_sites.append(CallSite(
+                        caller=caller, callee=callee, call=node,
+                        module=module))
+                self.generic_visit(node)
+
+        _Visitor().visit(module.tree)
+
+    def _qualname_of(self, module_name: str, node: ast.AST,
+                     class_name: str | None) -> str:
+        scope = f"{module_name}.{class_name}" if class_name else module_name
+        qualname = f"{scope}.{node.name}"  # type: ignore[attr-defined]
+        # Nested defs are not indexed; attribute them to their parent name
+        # anyway so the edge set stays conservative but connected.
+        return qualname
+
+    def _resolve_call(self, module: Module, call: ast.Call,
+                      caller_class: str | None) -> str | None:
+        imports = self.imports.get(module.module_name, {})
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_plain_name(module, func.id, imports)
+        if isinstance(func, ast.Attribute):
+            # self.method() through the class hierarchy.
+            if (isinstance(func.value, ast.Name) and func.value.id == "self"
+                    and caller_class is not None):
+                return self.resolve_method(
+                    f"{module.module_name}.{caller_class}", func.attr)
+            # module.attr() on an imported repro module.
+            if isinstance(func.value, ast.Name):
+                target = imports.get(func.value.id)
+                if target:
+                    return self._resolve_dotted(f"{target}.{func.attr}")
+        return None
+
+    def _resolve_plain_name(self, module: Module, name: str,
+                            imports: dict) -> str | None:
+        local = f"{module.module_name}.{name}"
+        if local in self.functions:
+            return local
+        if local in self.classes:
+            return self.resolve_method(local, "__init__") or local
+        target = imports.get(name)
+        if target:
+            return self._resolve_dotted(target)
+        return None
+
+    def _resolve_dotted(self, dotted: str) -> str | None:
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            return self.resolve_method(dotted, "__init__") or dotted
+        return None
+
+    def resolve_method(self, class_key: str, method: str,
+                       _seen: frozenset = frozenset()) -> str | None:
+        """Qualname of *method* on *class_key*, walking project bases."""
+        if class_key in _seen:
+            return None
+        info = self.classes.get(class_key)
+        if info is None:
+            return None
+        if method in info.methods:
+            return info.methods[method]
+        seen = _seen | {class_key}
+        for base in info.bases:
+            found = self.resolve_method(base, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries used by the dataflow rules.
+    # ------------------------------------------------------------------
+    def callers_of(self, qualname: str) -> set:
+        return {caller for caller, callees in self.edges.items()
+                if qualname in callees}
+
+    def bind_arguments(self, call: ast.Call, callee: FunctionInfo) -> dict:
+        """Map parameter name -> argument expression for a resolved call.
+
+        Methods skip their ``self``/``cls`` slot when the call site is a
+        constructor or a ``self.m()`` dispatch.  ``*args``/``**kwargs`` at
+        the call site abort the binding (conservative: nothing is bound).
+        """
+        if any(isinstance(a, ast.Starred) for a in call.args) or \
+                any(k.arg is None for k in call.keywords):
+            return {}
+        params = callee.params
+        if callee.class_name is not None and params \
+                and params[0] in ("self", "cls"):
+            params = params[1:]
+        bound: dict = {}
+        for param, arg in zip(params, call.args):
+            bound[param] = arg
+        for keyword in call.keywords:
+            if keyword.arg in params:
+                bound[keyword.arg] = keyword.value
+        return bound

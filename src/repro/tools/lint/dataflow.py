@@ -1,0 +1,371 @@
+"""Interprocedural determinism dataflow rules (RL201–RL203).
+
+These rules ride on :mod:`repro.tools.lint.callgraph` to answer the
+questions the per-file rules cannot:
+
+* **RL201 — unseeded RNG flow.**  A seed-provenance taint analysis: a
+  parameter is *seed-flowing* when its value reaches the ``seed``
+  parameter of :func:`repro.rng.make_rng`, either directly, through
+  another seed-flowing parameter, or via a ``self.seed = seed`` lane
+  stored in ``__init__`` and consumed elsewhere in the class.  Any call
+  site in ``partitioning/``, ``service/``, ``ingest/`` or ``database/``
+  that leaves a seed-flowing parameter unset (or passes an explicit
+  ``None``) falls back to process entropy and breaks bit-for-bit
+  reproducibility.
+* **RL202 — wall-clock impurity reaching simulated time.**  Functions
+  containing a wall-clock read are impure; impurity propagates backwards
+  over call edges.  A simulated-time module calling an *out-of-scope*
+  impure helper is reported at the boundary call (direct in-scope reads
+  are RL003's per-file job).
+* **RL203 — mutable module globals written from hot paths.**  A
+  module-level mutable literal in a hot-scope module that any function
+  in the same module mutates is cross-run shared state: it survives
+  between runs inside one process and orders itself by call history.
+
+The call graph is built once per project and shared by all three rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.tools.lint.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.tools.lint.engine import Finding, Module, Project, Rule, register
+from repro.tools.lint.rules_determinism import (
+    WallClockInSimulatedTime,
+    SIMULATED_TIME_SCOPES,
+    dotted_name,
+)
+
+#: Scopes whose RNG consumption must trace back to the experiment seed.
+RNG_SCOPES = (
+    ("repro", "partitioning"),
+    ("repro", "service"),
+    ("repro", "ingest"),
+    ("repro", "database"),
+)
+
+#: Hot-path scopes for the mutable-global rule.
+HOT_SCOPES = RNG_SCOPES
+
+#: The root of all seed provenance: make_rng's ``seed`` parameter.
+SEED_ROOT = ("repro.rng.make_rng", "seed")
+
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard",
+})
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+})
+
+
+def project_callgraph(project: Project) -> CallGraph:
+    """The project's call graph, built once and memoised on the project."""
+    graph = getattr(project, "_reprolint_callgraph", None)
+    if graph is None:
+        graph = CallGraph(project)
+        project._reprolint_callgraph = graph  # type: ignore[attr-defined]
+    return graph
+
+
+def _is_none(node: ast.AST | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _unbindable(call: ast.Call) -> bool:
+    return (any(isinstance(a, ast.Starred) for a in call.args)
+            or any(k.arg is None for k in call.keywords))
+
+
+# ----------------------------------------------------------------------
+# Seed-provenance taint analysis.
+# ----------------------------------------------------------------------
+class SeedFlow:
+    """Fixpoint computation of seed-flowing parameters and attributes."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: (qualname, param) pairs whose value reaches make_rng's seed.
+        self.params: set = set()
+        #: (class_key, attr) pairs acting as a stored seed lane.
+        self.attrs: set = set()
+        self._self_assigns = self._collect_self_assigns()
+        self._run()
+
+    def _collect_self_assigns(self) -> list:
+        """Every ``self.<attr> = <expr>`` in every method, once."""
+        out: list = []
+        for info in self.graph.functions.values():
+            if info.class_name is None:
+                continue
+            class_key = f"{info.module.module_name}.{info.class_name}"
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        out.append((class_key, target.attr, node.value, info))
+        return out
+
+    def _run(self) -> None:
+        if SEED_ROOT[0] in self.graph.functions:
+            self.params.add(SEED_ROOT)
+        changed = True
+        while changed:
+            changed = False
+            for site in self.graph.call_sites:
+                if _unbindable(site.call):
+                    continue
+                callee = self.graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                bound = self.graph.bind_arguments(site.call, callee)
+                for param, expr in bound.items():
+                    if (site.callee, param) not in self.params:
+                        continue
+                    changed |= self._taint_expr(site, expr)
+            for class_key, attr, value, method in self._self_assigns:
+                if (class_key, attr) not in self.attrs:
+                    continue
+                if (isinstance(value, ast.Name)
+                        and value.id in method.params):
+                    pair = (method.qualname, value.id)
+                    if pair not in self.params:
+                        self.params.add(pair)
+                        changed = True
+
+    def _taint_expr(self, site: CallSite, expr: ast.AST) -> bool:
+        """Taint whatever *expr* names in the calling context."""
+        caller = self.graph.functions.get(site.caller)
+        if isinstance(expr, ast.Name) and caller is not None:
+            if expr.id in caller.params:
+                pair = (site.caller, expr.id)
+                if pair not in self.params:
+                    self.params.add(pair)
+                    return True
+        elif (isinstance(expr, ast.Attribute)
+              and isinstance(expr.value, ast.Name)
+              and expr.value.id == "self"
+              and caller is not None and caller.class_name is not None):
+            key = (f"{caller.module.module_name}.{caller.class_name}",
+                   expr.attr)
+            if key not in self.attrs:
+                self.attrs.add(key)
+                return True
+        return False
+
+
+@register
+class UnseededRngFlow(Rule):
+    """RL201 — every RNG in the hot scopes must trace back to a seed."""
+
+    code = "RL201"
+    name = "unseeded-rng-flow"
+    summary = ("call in partitioning/service/ingest/database leaves a "
+               "seed-flowing parameter unset (or passes None) — the RNG "
+               "falls back to process entropy")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project_callgraph(project)
+        flow = SeedFlow(graph)
+        if not flow.params:
+            return
+        for site in graph.call_sites:
+            if not site.module.package_startswith(*RNG_SCOPES):
+                continue
+            if _unbindable(site.call):
+                continue
+            callee = graph.functions.get(site.callee)
+            if callee is None:
+                continue
+            bound = graph.bind_arguments(site.call, callee)
+            for param in callee.params:
+                if (site.callee, param) not in flow.params:
+                    continue
+                if param in bound:
+                    if _is_none(bound[param]):
+                        yield site.module.finding(
+                            self.code,
+                            f"explicit None for seed-flowing parameter "
+                            f"`{param}` of {site.callee} — the RNG stream "
+                            f"will come from process entropy, not the "
+                            f"experiment seed", site.call)
+                elif _is_none(callee.param_default(param)):
+                    yield site.module.finding(
+                        self.code,
+                        f"seed-flowing parameter `{param}` of "
+                        f"{site.callee} is omitted and defaults to None — "
+                        f"thread the experiment seed through this call",
+                        site.call)
+
+
+# ----------------------------------------------------------------------
+# Wall-clock impurity propagation.
+# ----------------------------------------------------------------------
+class TimePurity:
+    """Which functions (transitively) read the wall clock, and why."""
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        #: qualname -> human-readable reason chain ("via a -> b: time.time")
+        self.impure: dict = {}
+        self._run()
+
+    def _direct_reads(self, info: FunctionInfo) -> str | None:
+        banned = WallClockInSimulatedTime.banned_suffixes
+        imports = self.graph.imports.get(info.module.module_name, {})
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Attribute):
+                name = dotted_name(node)
+                if name is None:
+                    continue
+                tail = ".".join(name.split(".")[-2:])
+                if tail in banned:
+                    return name
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                target = imports.get(node.func.id)
+                if target and target in {f"time.{n}" for n in
+                                         WallClockInSimulatedTime.banned_time_names}:
+                    return target
+        return None
+
+    def _run(self) -> None:
+        for qualname, info in self.graph.functions.items():
+            read = self._direct_reads(info)
+            if read is not None:
+                self.impure[qualname] = f"reads `{read}`"
+        changed = True
+        while changed:
+            changed = False
+            for caller, callees in self.graph.edges.items():
+                if caller in self.impure or caller not in self.graph.functions:
+                    continue
+                for callee in callees:
+                    if callee in self.impure:
+                        self.impure[caller] = (
+                            f"calls {callee}, which {self.impure[callee]}")
+                        changed = True
+                        break
+
+
+@register
+class TimeImpurityReachesSimulation(Rule):
+    """RL202 — nothing reachable from simulated time reads the clock."""
+
+    code = "RL202"
+    name = "time-impurity-reaches-des"
+    summary = ("simulated-time code calls a helper that (transitively) "
+               "reads the wall clock — direct reads are RL003, this is "
+               "the cross-module escape hatch")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = project_callgraph(project)
+        purity = TimePurity(graph)
+        if not purity.impure:
+            return
+        for site in graph.call_sites:
+            if not site.module.package_startswith(*SIMULATED_TIME_SCOPES):
+                continue
+            callee = graph.functions.get(site.callee)
+            if callee is None or site.callee not in purity.impure:
+                continue
+            # The boundary only: direct in-scope reads are RL003's,
+            # in-scope impure callees are flagged at their own boundary.
+            if callee.module.package_startswith(*SIMULATED_TIME_SCOPES):
+                continue
+            yield site.module.finding(
+                self.code,
+                f"simulated-time code calls {site.callee}, which "
+                f"{purity.impure[site.callee]} — wall-clock state must "
+                f"not leak into simulated time", site.call)
+
+
+# ----------------------------------------------------------------------
+# Mutable module globals on hot paths.
+# ----------------------------------------------------------------------
+@register
+class MutableGlobalOnHotPath(Rule):
+    """RL203 — no function-mutated module globals in hot scopes.
+
+    A module-level ``CACHE = {}`` that hot-path functions write to is
+    cross-run shared state: within one process it survives between runs,
+    so the second run of an experiment sees different state than the
+    first and digests diverge.  State belongs on instances whose
+    lifetime the experiment controls.
+    """
+
+    code = "RL203"
+    name = "mutable-global-hot-path"
+    summary = ("module-level mutable literal in partitioning/service/"
+               "ingest/database mutated from function code")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.package_startswith(*HOT_SCOPES):
+            return
+        mutable_globals = self._module_level_mutables(module)
+        if not mutable_globals:
+            return
+        for fn in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            for name, write in self._writes(fn, mutable_globals):
+                yield module.finding(
+                    self.code,
+                    f"module global `{name}` (defined at line "
+                    f"{mutable_globals[name]}) is mutated from a hot-path "
+                    f"function — per-process state makes runs order-"
+                    f"dependent; hold it on an instance instead", write)
+
+    @staticmethod
+    def _module_level_mutables(module: Module) -> dict:
+        out: dict = {}
+        for node in module.tree.body:
+            targets: list = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            mutable = isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                         ast.ListComp, ast.DictComp,
+                                         ast.SetComp))
+            mutable |= (isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)
+                        and value.func.id in _MUTABLE_FACTORIES)
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.lineno
+        return out
+
+    @staticmethod
+    def _writes(fn: ast.AST, names: dict):
+        declared_global = {
+            name for node in ast.walk(fn)
+            if isinstance(node, ast.Global) for name in node.names}
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATOR_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in names):
+                yield node.func.value.id, node
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in names):
+                        yield target.value.id, node
+                    elif (isinstance(target, ast.Name)
+                          and target.id in names
+                          and target.id in declared_global):
+                        yield target.id, node

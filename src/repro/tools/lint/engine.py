@@ -60,7 +60,13 @@ class Finding:
 
 
 class Module:
-    """A parsed source file plus the context rules need."""
+    """A parsed source file plus the context rules need.
+
+    Each file is parsed exactly once, and the flattened node list is
+    memoised on first use (``all_nodes``/``nodes``) so the dozens of
+    registered rules share one AST walk instead of re-walking the tree
+    per rule family.
+    """
 
     def __init__(self, path: Path, source: str):
         self.path = path
@@ -68,6 +74,8 @@ class Module:
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
         self.package_parts = _package_parts(path)
+        self._all_nodes: list | None = None
+        self._ignored_by_line: dict | None = None
 
     @property
     def module_name(self) -> str:
@@ -86,15 +94,85 @@ class Module:
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0))
 
+    @property
+    def all_nodes(self) -> list:
+        """Every AST node, flattened once and cached for all rules."""
+        if self._all_nodes is None:
+            self._all_nodes = list(ast.walk(self.tree))
+        return self._all_nodes
+
+    def nodes(self, *types: type) -> list:
+        """Cached nodes, optionally filtered by AST node type(s)."""
+        if not types:
+            return self.all_nodes
+        return [n for n in self.all_nodes if isinstance(n, types)]
+
     def ignored_codes(self, line: int) -> set:
-        """Codes suppressed by an inline pragma on 1-based *line*."""
-        if not 1 <= line <= len(self.lines):
-            return set()
-        match = _PRAGMA.search(self.lines[line - 1])
-        if not match:
-            return set()
-        return {code.strip().upper()
-                for code in match.group("codes").split(",") if code.strip()}
+        """Codes suppressed at 1-based *line* by an inline pragma.
+
+        A pragma suppresses its whole *logical statement*, not just its
+        own physical line: a ``# reprolint: ignore[RL001]`` on the first
+        line of a multi-line call covers findings on its continuation
+        lines, and a pragma anywhere in a decorated ``def``/``class``
+        header (decorators through the signature) covers the header even
+        though the AST node's ``lineno`` points at the decorator.
+        """
+        if self._ignored_by_line is None:
+            self._ignored_by_line = self._build_suppressions()
+        return self._ignored_by_line.get(line, set())
+
+    def _build_suppressions(self) -> dict:
+        """Map each 1-based line to the codes suppressed there."""
+        by_line: dict = {}
+        for number, text in enumerate(self.lines, start=1):
+            codes = _pragma_codes(text)
+            if codes:
+                by_line[number] = set(codes)
+        if not by_line:
+            return by_line
+        # Widen every pragma to its statement's suppression region so a
+        # pragma on any physical line of the region covers all of it.
+        for start, end in self._suppression_regions():
+            region_codes: set = set()
+            for line in range(start, end + 1):
+                region_codes |= by_line.get(line, set())
+            if not region_codes:
+                continue
+            for line in range(start, end + 1):
+                by_line.setdefault(line, set()).update(region_codes)
+        return by_line
+
+    def _suppression_regions(self) -> Iterator:
+        """(start, end) line spans a single pragma should cover.
+
+        Simple statements span their full physical extent.  Compound
+        statements (defs, classes, loops, ...) contribute only their
+        *header* — decorators through the line before the first body
+        statement — so a pragma on a ``def`` never silences the body.
+        """
+        for node in self.all_nodes:
+            if not isinstance(node, ast.stmt):
+                continue
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            for decorator in decorators:
+                start = min(start, decorator.lineno)
+            body = getattr(node, "body", None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                end = max(start, body[0].lineno - 1)
+            else:
+                end = getattr(node, "end_lineno", None) or node.lineno
+            if end > start or decorators:
+                yield start, end
+
+
+def _pragma_codes(text: str) -> set:
+    """Codes named by an inline ``# reprolint: ignore[...]`` pragma."""
+    match = _PRAGMA.search(text)
+    if not match:
+        return set()
+    return {code.strip().upper()
+            for code in match.group("codes").split(",") if code.strip()}
 
 
 def _package_parts(path: Path) -> tuple:
@@ -163,7 +241,12 @@ def all_rules() -> list:
 def _load_rule_modules() -> None:
     # Imported lazily so `import repro.tools.lint.engine` alone never
     # pays for (or fails on) the rule modules.
-    from repro.tools.lint import rules_contracts, rules_determinism  # noqa: F401
+    from repro.tools.lint import (  # noqa: F401
+        dataflow,
+        rules_contracts,
+        rules_determinism,
+        rules_process,
+    )
 
 
 @dataclass
@@ -179,8 +262,12 @@ class LintResult:
     def clean(self) -> bool:
         return not self.findings
 
+    #: Versioned identifier for the ``--format json`` payload shape.
+    SCHEMA = "repro.lint/1"
+
     def to_dict(self) -> dict:
         return {
+            "schema": self.SCHEMA,
             "clean": self.clean,
             "files_checked": self.files_checked,
             "files_skipped": self.files_skipped,

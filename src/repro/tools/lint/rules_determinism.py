@@ -37,9 +37,13 @@ DECISION_SCOPES = (
 RNG_MODULE = ("repro", "rng")
 
 #: The configuration layer allowed to read the environment (RL006).
+#: ``tools.sanitize`` is the documented exception: REPRO_SANITIZE is its
+#: master switch, read once at import, and the sanitizer never affects
+#: results — it can only abort.
 ENV_SCOPES = (
     ("repro", "experiments"),
     ("repro", "orchestrator"),
+    ("repro", "tools", "sanitize"),
 )
 
 
@@ -56,8 +60,8 @@ def dotted_name(node: ast.AST) -> str | None:
 
 
 def walk_code(module: Module) -> Iterator[ast.AST]:
-    """``ast.walk`` minus docstring constants (they are not code)."""
-    yield from ast.walk(module.tree)
+    """Every AST node, via the module's shared one-walk cache."""
+    yield from module.all_nodes
 
 
 @register

@@ -1,0 +1,381 @@
+"""Process-boundary audit rules (RL210–RL213).
+
+The spawn-based multiprocessing paths (the orchestrator's process pool,
+the sharded-ingest worker loop) are where determinism is easiest to lose
+silently: a closure that captures a live handle pickles by accident
+under fork and crashes under spawn, a forked child inherits warm module
+state the spawned child would not have, and a float delta accumulator
+makes the merged result depend on worker arrival order.  These rules
+audit every call that crosses a process boundary.
+
+They activate only in modules that import ``multiprocessing`` or
+``concurrent.futures`` — everything else has no boundary to audit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.tools.lint.engine import Finding, Module, Rule, register
+from repro.tools.lint.rules_determinism import dotted_name
+
+#: Constructors whose results are live OS/process handles — never valid
+#: as spawn payloads (RL211) and never safe inside captured closures.
+LIVE_HANDLE_FACTORIES = frozenset({
+    "MetricsRegistry", "get_metrics", "get_tracer", "Tracer",
+    "memmap", "mmap", "open", "EdgeStreamFile", "socket", "Lock",
+    "RLock", "Condition",
+})
+
+_MP_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+
+def _imports_multiprocessing(module: Module) -> bool:
+    for node in module.nodes(ast.Import, ast.ImportFrom):
+        if isinstance(node, ast.Import):
+            if any(a.name.split(".")[0] in _MP_ROOTS for a in node.names):
+                return True
+        elif (node.module or "").split(".")[0] in _MP_ROOTS:
+            return True
+    return False
+
+
+def _module_level_function_names(module: Module) -> set:
+    return {node.name for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def _imported_names(module: Module) -> set:
+    out: set = set()
+    for node in module.nodes(ast.Import, ast.ImportFrom):
+        for alias in node.names:
+            out.add(alias.asname or alias.name.split(".")[0])
+    return out
+
+
+class _Boundary:
+    """One call that ships a callable and/or payload across processes."""
+
+    __slots__ = ("call", "kind", "callable", "payloads")
+
+    def __init__(self, call: ast.Call, kind: str,
+                 callable_expr: ast.AST | None, payloads: list):
+        self.call = call
+        self.kind = kind  # "submit" | "process" | "send"
+        self.callable = callable_expr
+        self.payloads = payloads
+
+
+def _boundaries(module: Module) -> Iterator[_Boundary]:
+    for node in module.nodes(ast.Call):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            # Bare Process(...) / ProcessPoolExecutor(...) by name.
+            if isinstance(func, ast.Name) and func.id == "Process":
+                yield _from_process_call(node)
+            continue
+        if func.attr == "submit" and node.args:
+            yield _Boundary(node, "submit", node.args[0],
+                            list(node.args[1:])
+                            + [k.value for k in node.keywords])
+        elif func.attr == "Process":
+            yield _from_process_call(node)
+        elif func.attr == "send" and len(node.args) == 1:
+            yield _Boundary(node, "send", None, _flatten(node.args[0]))
+
+
+def _from_process_call(node: ast.Call) -> _Boundary:
+    target = None
+    payloads: list = []
+    for keyword in node.keywords:
+        if keyword.arg == "target":
+            target = keyword.value
+        elif keyword.arg == "args":
+            payloads.extend(_flatten(keyword.value))
+        elif keyword.arg == "kwargs":
+            payloads.extend(_flatten(keyword.value))
+    return _Boundary(node, "process", target, payloads)
+
+
+def _flatten(expr: ast.AST) -> list:
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return list(expr.elts)
+    if isinstance(expr, ast.Dict):
+        return [v for v in expr.values if v is not None]
+    return [expr]
+
+
+def _enclosing_for(module: Module, call: ast.Call):
+    """Innermost function definition containing *call*, if any."""
+    best = None
+    for fn in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+        if fn.lineno <= call.lineno <= (fn.end_lineno or fn.lineno):
+            if best is None or fn.lineno >= best.lineno:
+                best = fn
+    return best
+
+
+@register
+class ProcessBoundaryCallable(Rule):
+    """RL210 — only module-level functions cross process boundaries.
+
+    A lambda, nested def or bound method shipped to ``submit``/
+    ``Process(target=...)`` drags its closure (and under fork, the whole
+    warm parent state) across the boundary.  Spawn requires the target
+    to be importable: a plain module-level function.
+    """
+
+    code = "RL210"
+    name = "process-boundary-callable"
+    summary = ("lambda/nested def/bound method passed across a process "
+               "boundary — spawn targets must be module-level functions")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.in_package() or not _imports_multiprocessing(module):
+            return
+        module_level = _module_level_function_names(module)
+        imported = _imported_names(module)
+        for boundary in _boundaries(module):
+            target = boundary.callable
+            if target is None:
+                continue
+            if isinstance(target, ast.Lambda):
+                yield module.finding(
+                    self.code,
+                    "lambda crosses a process boundary — it cannot be "
+                    "pickled for spawn; use a module-level function",
+                    boundary.call)
+            elif isinstance(target, ast.Attribute):
+                yield module.finding(
+                    self.code,
+                    f"bound method `{dotted_name(target) or target.attr}` "
+                    f"crosses a process boundary — it captures its whole "
+                    f"instance; use a module-level function taking value "
+                    f"arguments", boundary.call)
+            elif isinstance(target, ast.Name):
+                if target.id in module_level or target.id in imported:
+                    continue
+                enclosing = _enclosing_for(module, boundary.call)
+                if enclosing is not None:
+                    nested = {
+                        n.name for n in ast.walk(enclosing)
+                        if isinstance(n, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                        and n is not enclosing}
+                    if target.id in nested:
+                        yield module.finding(
+                            self.code,
+                            f"nested function `{target.id}` crosses a "
+                            f"process boundary — closures do not survive "
+                            f"spawn; hoist it to module level",
+                            boundary.call)
+
+
+@register
+class ProcessPayloadHygiene(Rule):
+    """RL211 — spawn payloads are picklable value types, not live handles.
+
+    A ``MetricsRegistry``, tracer, open file or mmap shipped through
+    ``Process(args=...)``/``submit``/``conn.send`` either fails to
+    pickle or — worse — pickles a *copy* whose mutations silently
+    diverge from the parent's. Workers must receive plain values and
+    merge state back through explicit deltas.
+    """
+
+    code = "RL211"
+    name = "process-payload-hygiene"
+    summary = ("live handle (registry/tracer/mmap/file) shipped across a "
+               "process boundary")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.in_package() or not _imports_multiprocessing(module):
+            return
+        for boundary in _boundaries(module):
+            enclosing = _enclosing_for(module, boundary.call)
+            live_names = self._live_handle_names(enclosing)
+            for payload in boundary.payloads:
+                factory = self._live_factory(payload)
+                if factory is not None:
+                    yield module.finding(
+                        self.code,
+                        f"`{factory}(...)` result shipped across a "
+                        f"process boundary — live handles are not "
+                        f"spawn-safe; pass plain values and rebuild in "
+                        f"the worker", boundary.call)
+                elif (isinstance(payload, ast.Name)
+                      and payload.id in live_names):
+                    yield module.finding(
+                        self.code,
+                        f"`{payload.id}` holds a "
+                        f"`{live_names[payload.id]}(...)` handle and is "
+                        f"shipped across a process boundary — pass plain "
+                        f"values and rebuild in the worker", boundary.call)
+
+    @staticmethod
+    def _live_factory(expr: ast.AST) -> str | None:
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name and name.split(".")[-1] in LIVE_HANDLE_FACTORIES:
+                return name
+        return None
+
+    @staticmethod
+    def _live_handle_names(enclosing: ast.AST | None) -> dict:
+        if enclosing is None:
+            return {}
+        out: dict = {}
+        for node in ast.walk(enclosing):
+            if not isinstance(node, ast.Assign) or \
+                    not isinstance(node.value, ast.Call):
+                continue
+            name = dotted_name(node.value.func)
+            if name is None or \
+                    name.split(".")[-1] not in LIVE_HANDLE_FACTORIES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = name
+        return out
+
+
+@register
+class ExplicitSpawnContext(Rule):
+    """RL212 — every process boundary names an explicit spawn context.
+
+    The platform default (fork on Linux) hands children a warm copy of
+    the parent — module caches, RNG state, open fds — so results differ
+    between platforms and between first/second runs. ``spawn`` starts
+    cold everywhere, which is why workers=N digest parity holds.
+    """
+
+    code = "RL212"
+    name = "explicit-spawn-context"
+    summary = ("process pool/Process without an explicit spawn context — "
+               "fork inherits warm parent state and differs per platform")
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.in_package() or not _imports_multiprocessing(module):
+            return
+        spawn_vars = self._context_vars(module)
+        for node in module.nodes(ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = name.split(".")[-1]
+            head = name.split(".")[0]
+            if tail == "get_context":
+                method = node.args[0] if node.args else None
+                if not (isinstance(method, ast.Constant)
+                        and method.value == "spawn"):
+                    yield module.finding(
+                        self.code,
+                        "get_context() without 'spawn' — fork/forkserver "
+                        "inherit warm parent state; request 'spawn' "
+                        "explicitly", node)
+            elif tail in ("Process", "Pool") and head in (
+                    "multiprocessing", "mp"):
+                yield module.finding(
+                    self.code,
+                    f"`{name}` uses the platform-default start method — "
+                    f"build it from get_context('spawn')", node)
+            elif tail == "ProcessPoolExecutor":
+                context = next((k.value for k in node.keywords
+                                if k.arg == "mp_context"), None)
+                ok = (isinstance(context, ast.Name)
+                      and context.id in spawn_vars)
+                ok |= (isinstance(context, ast.Call)
+                       and (dotted_name(context.func) or "")
+                       .endswith("get_context"))
+                if not ok:
+                    yield module.finding(
+                        self.code,
+                        "ProcessPoolExecutor without mp_context="
+                        "get_context('spawn') — the Linux default is "
+                        "fork, which inherits warm parent state", node)
+
+    @staticmethod
+    def _context_vars(module: Module) -> set:
+        out: set = set()
+        for node in module.nodes(ast.Assign):
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = dotted_name(node.value.func) or ""
+            if not name.endswith("get_context"):
+                continue
+            method = node.value.args[0] if node.value.args else None
+            if isinstance(method, ast.Constant) and method.value == "spawn":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+        return out
+
+
+@register
+class IntegerDeltaAccumulator(Rule):
+    """RL213 — cross-process delta accumulators carry an integer dtype.
+
+    Merging worker deltas with float ``+=`` is non-associative: the sum
+    depends on worker arrival order, so the same run with a different
+    scheduler interleaving produces a different digest. Integer deltas
+    commute exactly — the contract the shard merge API relies on.
+    """
+
+    code = "RL213"
+    name = "integer-delta-accumulator"
+    summary = ("np.zeros/np.empty accumulator merged with += in a "
+               "multiprocessing module lacks an explicit integer dtype")
+
+    _ALLOC = frozenset({"zeros", "empty", "ones"})
+
+    def check_module(self, module: Module) -> Iterable[Finding]:
+        if not module.in_package() or not _imports_multiprocessing(module):
+            return
+        for fn in module.nodes(ast.FunctionDef, ast.AsyncFunctionDef):
+            allocations = self._array_allocations(fn)
+            if not allocations:
+                continue
+            merged = {
+                node.target.id for node in ast.walk(fn)
+                if isinstance(node, ast.AugAssign)
+                and isinstance(node.op, ast.Add)
+                and isinstance(node.target, ast.Name)}
+            for name, (call, integer) in allocations.items():
+                if name in merged and not integer:
+                    yield module.finding(
+                        self.code,
+                        f"delta accumulator `{name}` is merged with += "
+                        f"but allocated without an explicit integer dtype "
+                        f"— float accumulation depends on worker arrival "
+                        f"order", call)
+
+    def _array_allocations(self, fn: ast.AST) -> dict:
+        out: dict = {}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign) or \
+                    not isinstance(node.value, ast.Call):
+                continue
+            name = dotted_name(node.value.func) or ""
+            parts = name.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy") or \
+                    parts[1] not in self._ALLOC:
+                continue
+            dtype = next((k.value for k in node.value.keywords
+                          if k.arg == "dtype"), None)
+            integer = self._is_integer_dtype(dtype)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = (node.value, integer)
+        return out
+
+    @staticmethod
+    def _is_integer_dtype(dtype: ast.AST | None) -> bool:
+        if dtype is None:
+            return False
+        if isinstance(dtype, ast.Name):
+            return dtype.id == "int" or dtype.id.startswith(("int", "uint"))
+        if isinstance(dtype, ast.Attribute):
+            return dtype.attr.startswith(("int", "uint"))
+        if isinstance(dtype, ast.Constant) and isinstance(dtype.value, str):
+            return dtype.value.startswith(("int", "uint"))
+        return False

@@ -35,6 +35,7 @@ PUBLIC_MODULES = (
     "repro.service",
     "repro.telemetry",
     "repro.tools.lint",
+    "repro.tools.sanitize",
 )
 from repro.errors import (
     ConfigurationError,

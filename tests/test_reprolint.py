@@ -57,7 +57,9 @@ class TestRealTree:
         assert codes == sorted(codes)
         assert codes == ["RL001", "RL002", "RL003", "RL004", "RL005",
                          "RL006", "RL101", "RL102", "RL103", "RL104",
-                         "RL105", "RL106", "RL107", "RL108"]
+                         "RL105", "RL106", "RL107", "RL108",
+                         "RL201", "RL202", "RL203",
+                         "RL210", "RL211", "RL212", "RL213"]
         assert all(rule.summary for rule in all_rules())
 
 
@@ -90,6 +92,73 @@ class TestEngine:
                 "  # reprolint: ignore[RL005]\n",
         })
         assert [f.code for f in findings] == ["RL001"]
+
+    def test_pragma_covers_multiline_statement(self, tmp_path):
+        """Pragma on the first physical line of a statement suppresses
+        findings attached to its continuation lines (regression: the
+        pragma used to be matched against the finding's line only)."""
+        findings = findings_for(tmp_path, {
+            "repro/database/bad.py":
+                "import numpy as np\n"
+                "rng = make(  # reprolint: ignore[RL001]\n"
+                "    np.random.default_rng(7),\n"
+                ")\n"
+                "def make(x):\n"
+                "    return x\n",
+        })
+        assert findings == []
+
+    def test_pragma_covers_decorated_def_header(self, tmp_path):
+        """A pragma on the ``def`` line suppresses findings anchored to
+        its decorators (whose linenos precede the def), and vice versa."""
+        files = {
+            "repro/database/deco.py":
+                "import numpy as np\n"
+                "def reg(rng):\n"
+                "    def wrap(fn):\n"
+                "        return fn\n"
+                "    return wrap\n"
+                "@reg(np.random.default_rng(7))\n"
+                "def handler():  # reprolint: ignore[RL001]\n"
+                "    return 1\n",
+        }
+        assert findings_for(tmp_path, files) == []
+        # The same pragma on the decorator line works too.
+        files_decorator = {
+            "repro/database/deco2.py":
+                "import numpy as np\n"
+                "def reg(rng):\n"
+                "    def wrap(fn):\n"
+                "        return fn\n"
+                "    return wrap\n"
+                "@reg(np.random.default_rng(7))  # reprolint: ignore[RL001]\n"
+                "def handler():\n"
+                "    return 1\n",
+        }
+        assert findings_for(tmp_path / "b", files_decorator) == []
+
+    def test_pragma_on_def_does_not_silence_body(self, tmp_path):
+        """Header suppression stops at the first body statement."""
+        findings = findings_for(tmp_path, {
+            "repro/database/body.py":
+                "import numpy as np\n"
+                "def build():  # reprolint: ignore[RL001]\n"
+                "    return np.random.default_rng(7)\n",
+        })
+        assert [f.code for f in findings] == ["RL001"]
+
+    def test_ast_walk_is_cached_per_module(self, tmp_path):
+        """All rules share one flattened node list per parsed file."""
+        from repro.tools.lint.engine import Module
+
+        path = write_tree(tmp_path, {
+            "repro/database/m.py": "x = 1\n",
+        }) / "repro/database/m.py"
+        module = Module(path, path.read_text())
+        assert module.all_nodes is module.all_nodes
+        import ast
+        assert module.nodes(ast.Assign) == [
+            n for n in module.all_nodes if isinstance(n, ast.Assign)]
 
     def test_file_pragma_skips_whole_file(self, tmp_path):
         result = run_lint([write_tree(tmp_path, {
@@ -716,6 +785,46 @@ class TestCli:
         assert payload["findings"][0]["line"] == 1
         assert "RL101" in payload["rules"]
 
+    def test_json_schema_is_versioned(self, tmp_path, capsys):
+        import json
+
+        write_tree(tmp_path, {"repro/graph/ok.py": "x = 1\n"})
+        assert lint_main([str(tmp_path), "--format", "json"]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint/1"
+
+    def test_json_output_is_byte_stable(self, tmp_path, capsys):
+        """Two runs over the same tree emit byte-identical JSON."""
+        write_tree(tmp_path, {
+            "repro/database/one.py": "import random\n",
+            "repro/database/two.py": "import time\nnow = time.time()\n",
+        })
+        outputs = []
+        for _ in range(2):
+            assert lint_main([str(tmp_path), "--format",
+                              "json"]) == EXIT_FINDINGS
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_select_and_ignore_interact(self, tmp_path, capsys):
+        tree = write_tree(tmp_path, {
+            "repro/database/bad.py":
+                "import random\n"
+                "import time\n"
+                "now = time.time()\n",
+        })
+        # select narrows to the listed codes ...
+        assert lint_main([str(tree), "--select", "RL002"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RL002" in out and "RL003" not in out
+        # ... and ignore subtracts from the selection.
+        assert lint_main([str(tree), "--select", "RL002,RL003",
+                          "--ignore", "RL002"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RL003" in out and "RL002" not in out
+        assert lint_main([str(tree), "--select", "RL002",
+                          "--ignore", "RL002"]) == EXIT_CLEAN
+
     def test_unknown_rule_code_is_usage_error(self, tmp_path, capsys):
         assert lint_main([str(tmp_path), "--select", "RL999"]) == EXIT_USAGE
         assert "unknown rule code" in capsys.readouterr().err
@@ -739,6 +848,19 @@ class TestCli:
 
 @pytest.mark.parametrize("code", [r.code for r in all_rules()])
 def test_every_rule_has_a_firing_fixture(code):
-    """Meta-test: the suites above cover every registered rule code."""
-    source = Path(__file__).read_text()
+    """Meta-test: the fixture suites cover every registered rule code.
+
+    RL0xx/RL1xx fixtures live here; the interprocedural RL2xx fixtures
+    live in ``test_lint_dataflow.py``.
+    """
+    here = Path(__file__)
+    source = here.read_text() + \
+        (here.parent / "test_lint_dataflow.py").read_text()
     assert f'"{code}"' in source or f"'{code}'" in source
+
+
+@pytest.mark.parametrize("code", [r.code for r in all_rules()])
+def test_every_rule_is_documented(code):
+    """Docs-drift contract: every rule appears in docs/static_analysis.md."""
+    docs = (REPO_ROOT / "docs" / "static_analysis.md").read_text()
+    assert code in docs, f"{code} missing from docs/static_analysis.md"

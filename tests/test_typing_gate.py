@@ -55,6 +55,9 @@ class TestBaseline:
             "src/repro/partitioning/base.py",
             "src/repro/partitioning/kernels.py",
             "src/repro/orchestrator/cache.py",
+            "src/repro/partitioning/degree_state.py",
+            "src/repro/ingest/format.py",
+            "src/repro/tools/sanitize.py",
         }
         # Everything else is covered by an (unratcheted) pattern.
         covered = [p for a, p in entries if a == "*"]
