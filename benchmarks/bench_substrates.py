@@ -1,0 +1,216 @@
+"""Before/after throughput of the two vectorized simulation substrates.
+
+Runs each substrate twice on identical inputs: the scalar pre-rewrite
+loops snapshotted in :mod:`repro.database._reference` /
+:mod:`repro.analytics._reference` ("before") and the production batched
+implementations ("after").  Every run pair doubles as an **equivalence
+gate** — latencies, per-worker accounting, iteration statistics and
+metric snapshots must agree byte-for-byte before the timings are
+trusted — so this benchmark is also the second line of defence (after
+``tests/test_substrate_equivalence.py``) against the vectorized paths
+drifting from the reference semantics.
+
+Writes ``benchmarks/output/BENCH_substrates.json`` with DES events/sec,
+GAS supersteps/sec and the before→after speedups.  Both rates share one
+denominator per substrate (the reference loop's processed-event count,
+and the workloads' superstep count), so the speedup is a pure wall-time
+ratio.
+
+Run standalone — it does not need pytest::
+
+    python benchmarks/bench_substrates.py                 # quick profile
+    python benchmarks/bench_substrates.py --profile smoke # CI smoke job
+    python benchmarks/bench_substrates.py --profile full  # docs numbers
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analytics import (  # noqa: E402
+    GasEngine, KCore, PageRank, Placement, WeaklyConnectedComponents,
+)
+from repro.analytics._reference import (  # noqa: E402
+    ReferenceGasEngine, ReferenceKCore, ReferencePageRank,
+)
+from repro.database import WorkloadGenerator  # noqa: E402
+from repro.database._reference import (  # noqa: E402
+    ReferenceClosedLoopSimulation,
+)
+from repro.database.simulation import ClosedLoopSimulation  # noqa: E402
+from repro.graph.generators import ldbc_like  # noqa: E402
+from repro.partitioning.registry import make_seeded_partitioner  # noqa: E402
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+OUTPUT_JSON = OUTPUT_DIR / "BENCH_substrates.json"
+
+#: Workload sizes per profile: smoke keeps the CI job in seconds; full is
+#: the profile behind the numbers quoted in docs/performance.md.
+PROFILES = {
+    "smoke": {"des_vertices": 800, "des_queries": (60, 20),
+              "des_duration": 0.3, "gas_vertices": 2_000,
+              "pagerank_iterations": 6, "repeats": 1},
+    "quick": {"des_vertices": 2_000, "des_queries": (150, 50),
+              "des_duration": 1.0, "gas_vertices": 8_000,
+              "pagerank_iterations": 12, "repeats": 2},
+    "full": {"des_vertices": 4_000, "des_queries": (300, 100),
+             "des_duration": 2.0, "gas_vertices": 20_000,
+             "pagerank_iterations": 20, "repeats": 3},
+}
+
+NUM_WORKERS = 16
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Minimum wall time over *repeats* runs (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _des_digest(result) -> tuple:
+    """Byte-level identity of everything a DES run reports."""
+    return (
+        result.latencies.tobytes(),
+        result.vertices_read_per_worker.tobytes(),
+        result.requests_per_worker.tobytes(),
+        result.busy_seconds_per_worker.tobytes(),
+        result.requests_lost_per_worker.tobytes(),
+        json.dumps(result.metrics.snapshot(), sort_keys=True, default=str),
+    )
+
+
+def _gas_digest(run) -> tuple:
+    """Byte-level identity of everything a GAS run reports."""
+    return (
+        tuple((it.iteration, it.gather_messages, it.mirror_update_messages,
+               it.network_bytes, it.compute_seconds.tobytes(),
+               it.wall_seconds) for it in run.iterations),
+        json.dumps(run.metrics.snapshot(), sort_keys=True, default=str),
+    )
+
+
+def bench_des(params: dict) -> dict:
+    graph = ldbc_like(params["des_vertices"], avg_degree=12, seed=42)
+    partition = make_seeded_partitioner("ldg", seed=31).partition(
+        graph, NUM_WORKERS, seed=47)
+    generator = WorkloadGenerator(graph, skew=0.4, seed=5)
+    one_hop, two_hop = params["des_queries"]
+    bindings = (generator.bindings("one_hop", one_hop)
+                + generator.bindings("two_hop", two_hop))
+    duration = params["des_duration"]
+
+    # One sim per implementation, with an untimed warm-up run: query
+    # plans are routed and compiled once per instance and cached, and
+    # both implementations share that cost — the benchmark measures
+    # event-loop throughput, not plan compilation.
+    ref_sim = ReferenceClosedLoopSimulation(graph, partition.assignment,
+                                            NUM_WORKERS)
+    new_sim = ClosedLoopSimulation(graph, partition.assignment, NUM_WORKERS)
+    ref_sim.run(bindings=bindings, duration=duration)
+    new_sim.run(bindings=bindings, duration=duration)
+    before_seconds, before = _best_of(
+        lambda: ref_sim.run(bindings=bindings, duration=duration),
+        params["repeats"])
+    after_seconds, after = _best_of(
+        lambda: new_sim.run(bindings=bindings, duration=duration),
+        params["repeats"])
+    if _des_digest(before) != _des_digest(after):
+        raise AssertionError(
+            "DES: vectorized event loop diverged from reference")
+    # Only the reference counts processed events; it is the shared
+    # denominator, so the rate ratio equals the wall-time ratio.
+    events = ref_sim.events_processed
+    return {
+        "unit": "events",
+        "events": events,
+        "queries_completed": int(after.completed_queries),
+        "before_seconds": round(before_seconds, 4),
+        "after_seconds": round(after_seconds, 4),
+        "before_events_per_second": round(events / before_seconds, 1),
+        "after_events_per_second": round(events / after_seconds, 1),
+        "speedup": round(before_seconds / after_seconds, 2),
+    }
+
+
+def bench_gas(params: dict) -> dict:
+    graph = ldbc_like(params["gas_vertices"], avg_degree=16, seed=42)
+    placement = Placement(graph, make_seeded_partitioner("ldg", seed=31)
+                          .partition(graph, NUM_WORKERS, seed=47))
+    iterations = params["pagerank_iterations"]
+
+    def run(engine_cls, workloads):
+        runs = [engine_cls().run(graph, placement, w) for w in workloads]
+        return runs
+
+    before_seconds, before = _best_of(
+        lambda: run(ReferenceGasEngine,
+                    [ReferencePageRank(iterations), ReferenceKCore(4),
+                     WeaklyConnectedComponents()]),
+        params["repeats"])
+    after_seconds, after = _best_of(
+        lambda: run(GasEngine,
+                    [PageRank(iterations), KCore(4),
+                     WeaklyConnectedComponents()]),
+        params["repeats"])
+    for ref_run, new_run in zip(before, after):
+        if _gas_digest(ref_run) != _gas_digest(new_run):
+            raise AssertionError(
+                f"GAS/{ref_run.workload}: vectorized superstep passes "
+                "diverged from reference")
+    supersteps = sum(r.num_iterations for r in after)
+    return {
+        "unit": "supersteps",
+        "supersteps": supersteps,
+        "workloads": [r.workload for r in after],
+        "before_seconds": round(before_seconds, 4),
+        "after_seconds": round(after_seconds, 4),
+        "before_supersteps_per_second": round(supersteps / before_seconds, 1),
+        "after_supersteps_per_second": round(supersteps / after_seconds, 1),
+        "speedup": round(before_seconds / after_seconds, 2),
+    }
+
+
+def run(profile: str) -> dict:
+    params = PROFILES[profile]
+    results = {"des": bench_des(params), "gas": bench_gas(params)}
+    for label, row in results.items():
+        print(f"{label:4s} {row['unit']:10s} "
+              f"before {row['before_seconds']:7.3f}s  "
+              f"after {row['after_seconds']:7.3f}s  "
+              f"x{row['speedup']:.2f}")
+    return {
+        "schema": 1,
+        "profile": profile,
+        "num_workers": NUM_WORKERS,
+        "results": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES),
+                        default="quick")
+    args = parser.parse_args(argv)
+    payload = run(args.profile)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    OUTPUT_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"wrote {OUTPUT_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,13 +49,15 @@ class KCore(Workload):
                 break
             alive &= ~removing
             # Removed vertices notify both endpoints of their edges.
+            # bincount == the np.add.at scatter it replaced (kept in
+            # ReferenceKCore), integer-exact and single-pass.
             drop = np.zeros(n, dtype=np.int64)
             fwd = removing[src]
             if fwd.any():
-                np.add.at(drop, dst[fwd], 1)
+                drop += np.bincount(dst[fwd], minlength=n)
             rev = removing[dst]
             if rev.any():
-                np.add.at(drop, src[rev], 1)
+                drop += np.bincount(src[rev], minlength=n)
             effective -= drop
             self._values = alive.copy()
             yield IterationActivity(

@@ -23,13 +23,33 @@ What emerges, rather than being programmed in:
   collapsed tail latency under high load (Table 5, Figs. 7/15);
 * more workers at fixed client count → more remote fan-out per query →
   throughput degradation beyond ~16 workers (Fig. 12).
+
+Event-loop representation
+-------------------------
+The heap holds plain ``(time, seq, kind, payload)`` tuples — kind is a
+small int — so ordering compares run in C instead of a dataclass
+``__lt__`` (which dominated the old profile at >500k calls per run).
+Fault-free runs additionally take a *batched* fast path: each binding's
+routed plan is precompiled once into per-phase request columns
+(:class:`_PhaseColumns` — service times, network deltas, byte totals,
+merge cost), a phase's requests are issued in one pass over those
+columns, and the phase's ``m`` response events collapse into a single
+``_PHASE_SETTLED`` event at the lexicographically-last ``(time, seq)``
+of the would-be responses.  Intermediate response events have no side
+effects (they only decrement an outstanding counter), and the collapsed
+event consumes all ``m`` sequence numbers, so the heap's tie-breaking,
+the sampler's tick boundaries, and every float accumulation order are
+*identical* to the scalar loop — ``repro.database._reference`` plus
+``tests/test_substrate_equivalence.py`` hold the fast path to
+byte-identical results.  Faulty runs keep the scalar per-request path
+verbatim (the ChaosHarness same-arithmetic-in-the-same-order contract).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -55,6 +75,17 @@ from repro.tools import sanitize
 BYTES_PER_VERTEX_RECORD = 128.0
 #: Fixed wire overhead of one remote request/response pair.
 BYTES_PER_REMOTE_REQUEST = 256.0
+
+# Heap-event kinds.  Events are ``(time, seq, kind, payload)`` tuples;
+# ``seq`` is unique so the kind int never participates in ordering.
+_START = 0
+_PHASE_DONE = 1
+_PHASE_SETTLED = 2  # fast path: a whole phase's responses, collapsed
+_RESPONSE = 3
+_TIMEOUT = 4
+_RETRY = 5
+_BACKGROUND = 6
+_ABORT = 7
 
 
 @dataclass
@@ -150,16 +181,8 @@ class SimulationResult:
         return self.vertices_read_per_worker
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    kind: str = field(compare=False)
-    payload: object = field(compare=False)
-
-
 class _QueryState:
-    """Progress of one in-flight query."""
+    """Progress of one in-flight query (scalar/faulty path)."""
 
     __slots__ = ("routed", "client", "phase", "outstanding", "started",
                  "phase_ready", "coordinator", "failed", "span", "hop_span")
@@ -192,6 +215,59 @@ class _Request:
         self.primary = primary
         self.reads = reads
         self.attempt = attempt
+
+
+class _PhaseColumns:
+    """One routed phase, precompiled for the batched fast path.
+
+    ``rows`` holds one ``(worker, reads, service_seconds, net_delta,
+    remote)`` tuple per request — every float computed by the *same
+    expression* the scalar path uses (``model.service_seconds(reads) /
+    worker.speed``; half-RTT network delta), so issuing from the columns
+    reproduces the scalar arithmetic bit for bit.  ``route_plan`` groups
+    a phase's reads by distinct owner, so the workers in ``rows`` are
+    pairwise distinct — which is what lets a whole phase issue in one
+    pass without intra-phase queue interactions.
+    """
+
+    __slots__ = ("rows", "fanout", "total_reads", "remote_reads",
+                 "wire_bytes", "merge_seconds")
+
+    def __init__(self, rows: tuple, fanout: int, total_reads: int,
+                 remote_reads: int, wire_bytes: float,
+                 merge_seconds: float):
+        self.rows = rows
+        self.fanout = fanout
+        self.total_reads = total_reads
+        self.remote_reads = remote_reads
+        self.wire_bytes = wire_bytes
+        self.merge_seconds = merge_seconds
+
+
+class _QueryColumns:
+    """A routed query's phases in column form, cached per binding."""
+
+    __slots__ = ("kind", "coordinator", "phases", "num_phases")
+
+    def __init__(self, kind: str, coordinator: int, phases: tuple):
+        self.kind = kind
+        self.coordinator = coordinator
+        self.phases = phases
+        self.num_phases = len(phases)
+
+
+class _FastQuery:
+    """Progress of one in-flight query (fault-free fast path)."""
+
+    __slots__ = ("cols", "client", "phase", "started", "span", "hop_span")
+
+    def __init__(self, cols: _QueryColumns, client: int, started: float):
+        self.cols = cols
+        self.client = client
+        self.phase = 0
+        self.started = started
+        self.span = 0
+        self.hop_span = 0
 
 
 class ClosedLoopSimulation:
@@ -256,6 +332,9 @@ class ClosedLoopSimulation:
                                       max(1, min(k_safety, num_workers)))
         self.raise_on_failure = raise_on_failure
         self._plan_cache: dict[tuple, RoutedQuery] = {}
+        # Worker speeds and the (scaled) service model are fixed at
+        # construction, so compiled columns stay valid across runs.
+        self._columns_cache: dict[tuple, _QueryColumns] = {}
 
     # ------------------------------------------------------------------
     def _routed(self, binding: QueryBinding) -> RoutedQuery:
@@ -267,6 +346,44 @@ class ClosedLoopSimulation:
                               fanout_limit=self.fanout_limit)
             cached = route_plan(plan, self.owner)
             self._plan_cache[key] = cached
+        return cached
+
+    def _columns(self, binding: QueryBinding) -> _QueryColumns:
+        """Compile *binding*'s routed plan into fast-path columns."""
+        key = (binding.kind, binding.start_vertex, binding.target_vertex)
+        cached = self._columns_cache.get(key)
+        if cached is None:
+            routed = self._routed(binding)
+            model = self.cluster.model
+            workers = self.cluster.workers
+            half_rtt = model.network_rtt_seconds / 2
+            coordinator = routed.coordinator
+            coord_speed = workers[coordinator].speed
+            phases = []
+            for phase in routed.phases:
+                rows = []
+                total_reads = 0
+                remote_reads = 0
+                wire_bytes = 0.0
+                for worker_id, reads in phase.requests:
+                    remote = worker_id != coordinator
+                    service = (model.service_seconds(reads)
+                               / workers[worker_id].speed)
+                    rows.append((worker_id, reads, service,
+                                 half_rtt if remote else 0.0, remote))
+                    total_reads += reads
+                    if remote:
+                        remote_reads += reads
+                        wire_bytes += (BYTES_PER_REMOTE_REQUEST
+                                       + reads * BYTES_PER_VERTEX_RECORD)
+                merge = (model.coordinator_overhead_seconds
+                         + len(rows) * model.per_response_seconds) \
+                    / coord_speed
+                phases.append(_PhaseColumns(tuple(rows), len(rows),
+                                            total_reads, remote_reads,
+                                            wire_bytes, merge))
+            cached = _QueryColumns(routed.kind, coordinator, tuple(phases))
+            self._columns_cache[key] = cached
         return cached
 
     # ------------------------------------------------------------------
@@ -327,13 +444,17 @@ class ClosedLoopSimulation:
         #: existed (the ChaosHarness invariant).
         faulty = not schedule.is_empty
         router = FailoverRouter(self.replica_map, schedule)
-        num_clients = self.clients_per_worker * self.cluster.num_workers
+        num_workers = self.cluster.num_workers
+        num_clients = self.clients_per_worker * num_workers
         warmup = duration * warmup_fraction
+        think = model.think_seconds
         tracer = get_tracer()
         tracing = tracer.enabled
 
-        events: list[_Event] = []
+        events: list[tuple] = []
+        heappush = heapq.heappush
         sequence = itertools.count()
+        next_seq = sequence.__next__
         request_ids = itertools.count()
         retry_ids = itertools.count()
         binding_cursor = [int(i * len(bindings) / num_clients)
@@ -361,6 +482,8 @@ class ClosedLoopSimulation:
         # intervals inside the event loop.  Disabled/absent samplers cost
         # nothing — not a single registry call.
         sampling = sampler is not None and sampler.enabled
+        tick = 0.0
+        next_tick = 0.0
         if sampling:
             sampler.registry = metrics
             tick = duration / 10.0 if sample_interval is None \
@@ -370,28 +493,163 @@ class ClosedLoopSimulation:
             next_tick = tick
         root_span = tracer.begin(
             "db.run", 0.0, parent=None,
-            num_workers=self.cluster.num_workers,
+            num_workers=num_workers,
             clients_per_worker=self.clients_per_worker,
             duration=duration) if tracing else 0
 
-        def push(time: float, kind: str, payload) -> None:
-            heapq.heappush(events, _Event(time, next(sequence), kind, payload))
+        # Fast-path worker state: the FIFO-server clock and the per-run
+        # stat accumulators live in plain lists (folded back into
+        # ``Worker.stats`` after the loop).  Each worker's values see the
+        # same additions in the same event order as the scalar path, so
+        # the folded totals are bit-identical.
+        fast = not faulty
+        workers = self.cluster.workers
+        busy = [0.0] * num_workers
+        st_requests = [0] * num_workers
+        st_reads = [0] * num_workers
+        st_busy = [0.0] * num_workers
+        st_remote = [0] * num_workers
+
+        def push(time: float, kind: int, payload) -> None:
+            heappush(events, (time, next_seq(), kind, payload))
 
         def next_binding(client: int) -> QueryBinding:
             index = binding_cursor[client]
             binding_cursor[client] = (index + 1) % len(bindings)
             return bindings[index]
 
-        def start_query(client: int, now: float) -> None:
+        # -- fault-free fast path ---------------------------------------
+        def start_query_fast(client: int, now: float) -> None:
             binding = next_binding(client)
-            routed = self._routed(binding)
-            state = _QueryState(routed, client, now)
+            cols = self._columns(binding)
+            fq = _FastQuery(cols, client, now)
             if migrating is not None and binding.start_vertex in migrating:
                 # The start vertex is mid-migration (double-homed): the
                 # client's first request races the ownership handshake and
                 # is answered only after one bounded retry wait.  Applied
                 # once per query, at start — migration delays reads, it
                 # never drops them.
+                c_migration_waits.inc()
+                ready = now + migration_wait_seconds
+                if tracing:
+                    tracer.point("db.migration.wait", now, parent=root_span,
+                                 vertex=binding.start_vertex, client=client)
+                now = ready
+            if tracing:
+                fq.span = tracer.begin(
+                    "db.query", now, parent=root_span, kind=cols.kind,
+                    client=client, coordinator=cols.coordinator)
+                tracer.point("db.route", now, parent=fq.span,
+                             coordinator=cols.coordinator,
+                             phases=cols.num_phases)
+            issue_phase_fast(fq, now)
+
+        def issue_phase_fast(fq: _FastQuery, now: float) -> None:
+            cols = fq.cols
+            phase = fq.phase
+            while phase < cols.num_phases \
+                    and cols.phases[phase].fanout == 0:
+                phase += 1
+            fq.phase = phase
+            if phase >= cols.num_phases:
+                finish_query_fast(fq, now)
+                return
+            pcols = cols.phases[phase]
+            if tracing:
+                fq.hop_span = tracer.begin(
+                    "db.hop", now, parent=fq.span, phase=phase,
+                    fanout=pcols.fanout)
+            # One pass over the phase's precompiled request columns.  The
+            # workers are pairwise distinct (route_plan groups by owner),
+            # so each request sees the server clock exactly as the scalar
+            # loop would.  The phase's m response events collapse into one
+            # _PHASE_SETTLED event at the last (time, seq); the m sequence
+            # numbers are still consumed so heap tie-breaking downstream
+            # is unchanged.
+            best_time = -1.0
+            best_seq = 0
+            for worker_id, reads, service, delta, remote in pcols.rows:
+                arrival = now + delta
+                server = busy[worker_id]
+                begin = arrival if arrival > server else server
+                completion = begin + service
+                busy[worker_id] = completion
+                st_requests[worker_id] += 1
+                st_reads[worker_id] += reads
+                st_busy[worker_id] += service
+                if remote:
+                    st_remote[worker_id] += 1
+                response = completion + delta
+                seq = next_seq()
+                if response >= best_time:
+                    best_time = response
+                    best_seq = seq
+                if tracing:
+                    # The request's whole life is known analytically here,
+                    # so the span is recorded at once: queueing is
+                    # begin-arrival, service is completion-begin.
+                    rid = tracer.begin("db.request", now,
+                                       parent=fq.hop_span,
+                                       worker=worker_id, reads=reads,
+                                       attempt=0, remote=remote,
+                                       queue_seconds=begin - arrival,
+                                       service_seconds=service)
+                    tracer.end(rid, response)
+            c_total.inc(pcols.total_reads)
+            if pcols.remote_reads:
+                c_remote.inc(pcols.remote_reads)
+                c_bytes.inc(pcols.wire_bytes)
+            heappush(events, (best_time, best_seq, _PHASE_SETTLED, fq))
+
+        def on_phase_settled(fq: _FastQuery, now: float) -> None:
+            # Merge the phase's responses on the coordinator: this
+            # occupies the coordinating worker's server, so hot
+            # coordinators queue up and wide fan-out costs CPU.
+            pcols = fq.cols.phases[fq.phase]
+            coordinator = fq.cols.coordinator
+            merge = pcols.merge_seconds
+            server = busy[coordinator]
+            begin = now if now > server else server
+            done = begin + merge
+            busy[coordinator] = done
+            st_busy[coordinator] += merge
+            if tracing:
+                tracer.end(fq.hop_span, done, status="ok",
+                           merge_seconds=merge)
+            fq.phase += 1
+            heappush(events, (done, next_seq(), _PHASE_DONE, fq))
+
+        def finish_query_fast(fq: _FastQuery, now: float) -> None:
+            if now >= warmup:
+                latencies.append(now - fq.started)
+                c_completed.inc()
+            if tracing:
+                tracer.end(fq.span, now, status="ok",
+                           latency_seconds=now - fq.started)
+            if now < duration:
+                heappush(events, (now + think, next_seq(), _START,
+                                  fq.client))
+
+        def on_background_fast(payload, now: float) -> None:
+            worker_id, seconds = payload
+            server = busy[worker_id]
+            begin = now if now > server else server
+            busy[worker_id] = begin + seconds
+            st_busy[worker_id] += seconds
+            stats = workers[worker_id].stats
+            stats.migration_seconds += seconds
+            stats.migration_batches += 1
+            c_migration_busy.inc(seconds)
+            if tracing:
+                tracer.point("db.migration.batch", now, parent=root_span,
+                             worker=worker_id, seconds=seconds)
+
+        # -- scalar path (fault injection active) -----------------------
+        def start_query(client: int, now: float) -> None:
+            binding = next_binding(client)
+            routed = self._routed(binding)
+            state = _QueryState(routed, client, now)
+            if migrating is not None and binding.start_vertex in migrating:
                 c_migration_waits.inc()
                 state.phase_ready = now + migration_wait_seconds
                 if tracing:
@@ -405,25 +663,24 @@ class ClosedLoopSimulation:
                 tracer.point("db.route", now, parent=state.span,
                              coordinator=routed.coordinator,
                              phases=len(routed.phases))
-            if faulty:
-                coordinator = router.coordinator(routed, now)
-                if coordinator is None:
-                    # The start vertex's whole replica chain is down: the
-                    # client cannot even open a session; it observes one
-                    # timeout deadline and gives the query up.
-                    if self.raise_on_failure:
-                        raise WorkerFailedError(
-                            f"entire replica chain of worker "
-                            f"{routed.coordinator} is down at t={now:.4f}s")
-                    state.failed = True
-                    push(now + policy.timeout_seconds, "abort", state)
-                    return
-                if tracing and coordinator != routed.coordinator:
-                    tracer.point("db.failover", now, parent=state.span,
-                                 kind="coordinator",
-                                 primary=routed.coordinator,
-                                 replica=coordinator)
-                state.coordinator = coordinator
+            coordinator = router.coordinator(routed, now)
+            if coordinator is None:
+                # The start vertex's whole replica chain is down: the
+                # client cannot even open a session; it observes one
+                # timeout deadline and gives the query up.
+                if self.raise_on_failure:
+                    raise WorkerFailedError(
+                        f"entire replica chain of worker "
+                        f"{routed.coordinator} is down at t={now:.4f}s")
+                state.failed = True
+                push(now + policy.timeout_seconds, _ABORT, state)
+                return
+            if tracing and coordinator != routed.coordinator:
+                tracer.point("db.failover", now, parent=state.span,
+                             kind="coordinator",
+                             primary=routed.coordinator,
+                             replica=coordinator)
+            state.coordinator = coordinator
             issue_phase(state, now)
 
         def issue_phase(state: _QueryState, now: float) -> None:
@@ -446,48 +703,45 @@ class ClosedLoopSimulation:
 
         def issue_request(state: _QueryState, primary: int, reads: int,
                           now: float, attempt: int) -> None:
-            target = router.target(primary, attempt) if faulty else primary
-            worker = self.cluster.workers[target]
+            target = router.target(primary, attempt)
+            worker = workers[target]
             remote = target != state.coordinator
-            extra = (schedule.extra_latency_seconds
-                     if faulty and remote else 0.0)
+            extra = schedule.extra_latency_seconds if remote else 0.0
             arrival = now + (model.network_rtt_seconds / 2 + extra
                              if remote else 0.0)
             if tracing and attempt > 0 and target != primary:
                 tracer.point("db.failover", now, parent=state.hop_span,
                              kind="request", primary=primary,
                              replica=target, attempt=attempt)
-            if faulty:
-                request_id = next(request_ids)
-                if schedule.is_crashed(target, arrival):
-                    # The request reaches a dead machine: no response will
-                    # ever come; the client discovers this only through
-                    # its timeout deadline.
-                    worker.stats.requests_lost += 1
-                    if tracing:
-                        tracer.point("db.request.lost", now,
-                                     parent=state.hop_span, worker=target,
-                                     reads=reads, attempt=attempt,
-                                     reason="crashed")
-                    push(now + policy.timeout_seconds, "timeout",
-                         _Request(state, primary, reads, attempt))
-                    return
-                if schedule.should_drop(request_id):
-                    c_dropped.inc()
-                    worker.stats.requests_lost += 1
-                    if tracing:
-                        tracer.point("db.request.lost", now,
-                                     parent=state.hop_span, worker=target,
-                                     reads=reads, attempt=attempt,
-                                     reason="dropped")
-                    push(now + policy.timeout_seconds, "timeout",
-                         _Request(state, primary, reads, attempt))
-                    return
+            request_id = next(request_ids)
+            if schedule.is_crashed(target, arrival):
+                # The request reaches a dead machine: no response will
+                # ever come; the client discovers this only through
+                # its timeout deadline.
+                worker.stats.requests_lost += 1
+                if tracing:
+                    tracer.point("db.request.lost", now,
+                                 parent=state.hop_span, worker=target,
+                                 reads=reads, attempt=attempt,
+                                 reason="crashed")
+                push(now + policy.timeout_seconds, _TIMEOUT,
+                     _Request(state, primary, reads, attempt))
+                return
+            if schedule.should_drop(request_id):
+                c_dropped.inc()
+                worker.stats.requests_lost += 1
+                if tracing:
+                    tracer.point("db.request.lost", now,
+                                 parent=state.hop_span, worker=target,
+                                 reads=reads, attempt=attempt,
+                                 reason="dropped")
+                push(now + policy.timeout_seconds, _TIMEOUT,
+                     _Request(state, primary, reads, attempt))
+                return
             service = worker.service_seconds(reads)
-            if faulty:
-                factor = schedule.speed_factor(target, arrival)
-                if factor != 1.0:
-                    service = service / factor
+            factor = schedule.speed_factor(target, arrival)
+            if factor != 1.0:
+                service = service / factor
             begin = max(arrival, worker.busy_until)
             completion = begin + service
             worker.busy_until = completion
@@ -503,16 +757,13 @@ class ClosedLoopSimulation:
             response = completion + (model.network_rtt_seconds / 2 + extra
                                      if remote else 0.0)
             if tracing:
-                # The request's whole life is known analytically here, so
-                # the span is recorded at once: queueing is begin-arrival,
-                # service is completion-begin.
                 rid = tracer.begin("db.request", now, parent=state.hop_span,
                                    worker=target, reads=reads,
                                    attempt=attempt, remote=remote,
                                    queue_seconds=begin - arrival,
                                    service_seconds=service)
                 tracer.end(rid, response)
-            push(response, "response", state)
+            push(response, _RESPONSE, state)
 
         def finish_query(state: _QueryState, now: float) -> None:
             if now >= warmup:
@@ -522,7 +773,7 @@ class ClosedLoopSimulation:
                 tracer.end(state.span, now, status="ok",
                            latency_seconds=now - state.started)
             if now < duration:
-                push(now + model.think_seconds, "start", state.client)
+                push(now + think, _START, state.client)
 
         def fail_query(state: _QueryState, now: float) -> None:
             if self.raise_on_failure:
@@ -536,7 +787,7 @@ class ClosedLoopSimulation:
                 tracer.end(state.span, now, status="failed",
                            latency_seconds=now - state.started)
             if now < duration:
-                push(now + model.think_seconds, "start", state.client)
+                push(now + think, _START, state.client)
 
         def request_settled(state: _QueryState, now: float) -> None:
             state.outstanding -= 1
@@ -550,7 +801,7 @@ class ClosedLoopSimulation:
             # Merge the phase's responses on the coordinator: this
             # occupies the coordinating worker's server, so hot
             # coordinators queue up and wide fan-out costs CPU.
-            coordinator = self.cluster.workers[state.coordinator]
+            coordinator = workers[state.coordinator]
             responses = len(state.routed.phases[state.phase].requests)
             merge = (model.coordinator_overhead_seconds
                      + responses * model.per_response_seconds) \
@@ -563,7 +814,7 @@ class ClosedLoopSimulation:
                 tracer.end(state.hop_span, done, status="ok",
                            merge_seconds=merge)
             state.phase += 1
-            push(done, "phase_done", state)
+            push(done, _PHASE_DONE, state)
 
         def on_timeout(request: _Request, now: float) -> None:
             c_timeouts.inc()
@@ -588,7 +839,7 @@ class ClosedLoopSimulation:
                                  attempt=request.attempt,
                                  delay_seconds=delay)
                 request.attempt += 1
-                push(now + delay, "retry", request)
+                push(now + delay, _RETRY, request)
                 return
             request.state.failed = True
             request_settled(request.state, now)
@@ -598,15 +849,12 @@ class ClosedLoopSimulation:
             issue_request(request.state, request.primary, request.reads,
                           now, request.attempt)
 
-        def on_phase_done(state: _QueryState, now: float) -> None:
-            issue_phase(state, now)
-
         def on_background(payload, now: float) -> None:
             # A migration batch occupies the worker's FIFO server like any
             # storage request: queries queued behind it wait, which is the
             # honest latency price of shipping vertex state.
             worker_id, seconds = payload
-            worker = self.cluster.workers[worker_id]
+            worker = workers[worker_id]
             begin = max(now, worker.busy_until)
             worker.busy_until = begin + seconds
             worker.stats.busy_seconds += seconds
@@ -617,53 +865,71 @@ class ClosedLoopSimulation:
                 tracer.point("db.migration.batch", now, parent=root_span,
                              worker=worker_id, seconds=seconds)
 
+        on_start = start_query_fast if fast else start_query
+        on_phase_advance = issue_phase_fast if fast else issue_phase
+        background_handler = on_background_fast if fast else on_background
+
         # Stagger client start-up across the first millisecond so the
         # initial burst does not synchronise queues artificially.
         for client in range(num_clients):
-            push(client * 1e-6, "start", client)
+            push(client * 1e-6, _START, client)
         if background_work:
             for when, worker_id, seconds in background_work:
                 if seconds < 0 or when < 0:
                     raise ConfigurationError(
                         "background_work entries must have time >= 0 and "
                         "seconds >= 0")
-                if not 0 <= int(worker_id) < self.cluster.num_workers:
+                if not 0 <= int(worker_id) < num_workers:
                     raise ConfigurationError(
                         f"background_work worker {worker_id} outside the "
-                        f"{self.cluster.num_workers}-worker cluster")
-                push(float(when), "background",
+                        f"{num_workers}-worker cluster")
+                push(float(when), _BACKGROUND,
                      (int(worker_id), float(seconds)))
 
         sanitizing = sanitize.ACTIVE
         last_event_time = 0.0
+        heappop = heapq.heappop
         while events:
-            event = heapq.heappop(events)
+            time_, seq, kind, payload = heappop(events)
             if sanitizing:
-                sanitize.check_event_time(event.time, last_event_time,
+                sanitize.check_event_time(time_, last_event_time,
                                           "database.simulation.event_loop")
-                last_event_time = event.time
+                last_event_time = time_
             if sampling:
-                while next_tick <= event.time and next_tick < duration:
+                while next_tick <= time_ and next_tick < duration:
                     sampler.sample(next_tick)
                     next_tick += tick
-            if event.time > duration:
+            if time_ > duration:
                 break
-            if event.kind == "start":
-                start_query(event.payload, event.time)
-            elif event.kind == "phase_done":
-                on_phase_done(event.payload, event.time)
-            elif event.kind == "response":
-                request_settled(event.payload, event.time)
-            elif event.kind == "timeout":
-                on_timeout(event.payload, event.time)
-            elif event.kind == "retry":
-                on_retry(event.payload, event.time)
-            elif event.kind == "background":
-                on_background(event.payload, event.time)
-            else:  # "abort": the whole replica chain was down at start.
-                fail_query(event.payload, event.time)
+            if kind == _PHASE_SETTLED:
+                on_phase_settled(payload, time_)
+            elif kind == _PHASE_DONE:
+                on_phase_advance(payload, time_)
+            elif kind == _START:
+                on_start(payload, time_)
+            elif kind == _RESPONSE:
+                request_settled(payload, time_)
+            elif kind == _TIMEOUT:
+                on_timeout(payload, time_)
+            elif kind == _RETRY:
+                on_retry(payload, time_)
+            elif kind == _BACKGROUND:
+                background_handler(payload, time_)
+            else:  # _ABORT: the whole replica chain was down at start.
+                fail_query(payload, time_)
 
-        workers = self.cluster.workers
+        if fast:
+            # Fold the fast-path accumulators into the worker stats; each
+            # target starts at zero, so the fold adds nothing numerically
+            # (0.0 + x == x) and the totals carry the event-order chains.
+            for worker_id in range(num_workers):
+                stats = workers[worker_id].stats
+                worker = workers[worker_id]
+                worker.busy_until = busy[worker_id]
+                stats.requests_served += st_requests[worker_id]
+                stats.vertices_read += st_reads[worker_id]
+                stats.busy_seconds += st_busy[worker_id]
+                stats.remote_requests += st_remote[worker_id]
         metrics.histogram("db.query.latency_seconds").observe_many(latencies)
         metrics.histogram("db.worker.vertices_read").observe_many(
             w.stats.vertices_read for w in workers)
@@ -681,7 +947,7 @@ class ClosedLoopSimulation:
                        completed_queries=int(c_completed.value),
                        failed_queries=int(c_failed.value))
         return SimulationResult(
-            num_workers=self.cluster.num_workers,
+            num_workers=num_workers,
             clients_per_worker=self.clients_per_worker,
             duration=duration,
             warmup=warmup,

@@ -202,6 +202,30 @@ class Tracer:
         self.end(span_id, at)
         return span_id
 
+    def emit_closed(self, name: str, start: float, ends, *, parent=None,
+                    attr_name: str | None = None) -> None:
+        """Batch-record ``len(ends)`` already-closed sibling spans.
+
+        Equivalent to the loop ``for i: end(begin(name, start,
+        parent=parent, **{attr_name: i}), ends[i])`` — same span ids,
+        same export order, same :attr:`calls` accounting — minus the
+        per-span call overhead.  The GAS engine uses this for its
+        per-machine compute spans, whose lifetimes are all known at once.
+        """
+        n = len(ends)
+        self.calls += 2 * n
+        if not self.enabled:
+            return
+        span_id = self._next_id
+        begin = float(start)
+        for i in range(n):
+            span = Span(span_id, parent, name, begin, float(ends[i]),
+                        {attr_name: i} if attr_name is not None else {})
+            self._parents[span_id] = parent
+            self.spans.append(span)
+            span_id += 1
+        self._next_id = span_id
+
     def end_subtree(self, root_id: int, end: float, **attrs) -> int:
         """Close every still-open descendant of *root_id* at time *end*.
 

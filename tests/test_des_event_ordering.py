@@ -1,0 +1,219 @@
+"""Event-ordering invariants of the DES fault/contention paths.
+
+The discrete-event loop's observable behaviour *is* its event order:
+span traces are deterministic (seeded), so the interleavings that matter
+— timeout → retry → failover → success, abort when a whole replica
+chain is down at query start, storage requests queueing behind
+background migration batches — can be pinned as golden event sequences.
+A refactor that reorders events (even to numerically equal results)
+changes these sequences and must be reviewed, not absorbed silently.
+
+All scenarios share a tiny 4-worker cluster with a modulo vertex
+assignment, one client per worker, and ``duration=0.3`` (warmup 0.075),
+so the goldens stay short enough to read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.database.simulation import ClosedLoopSimulation
+from repro.database.workload import QueryBinding
+from repro.faults import CrashInterval, FaultSchedule
+from repro.graph.generators import erdos_renyi
+from repro.telemetry import set_tracer
+from repro.telemetry.tracer import Tracer
+
+#: Span/point names that express fault handling and contention; the
+#: goldens are the ordered subsequence of these within the full trace.
+INTERESTING = ("db.query", "db.request.lost", "db.timeout", "db.retry",
+               "db.failover", "db.migration.batch")
+
+
+@pytest.fixture(scope="module")
+def tiny_cluster():
+    graph = erdos_renyi(24, 60, seed=7)
+    assignment = np.arange(24) % 4
+    return graph, assignment
+
+
+def run_traced(tiny_cluster, *, bindings, fault=None, background=None):
+    graph, assignment = tiny_cluster
+    tracer = Tracer(enabled=True)
+    set_tracer(tracer)
+    try:
+        sim = ClosedLoopSimulation(graph, assignment, 4,
+                                   clients_per_worker=1,
+                                   fault_schedule=fault)
+        result = sim.run(bindings=bindings, duration=0.3,
+                         background_work=background)
+        return result, list(tracer.spans)
+    finally:
+        set_tracer(Tracer(enabled=False))
+
+
+def event_sequence(spans):
+    """The trace filtered to fault/contention events, in export order.
+
+    Each entry is the span name followed by its identifying attrs (only
+    those present): status, failover kind, worker, attempt, loss reason.
+    """
+    out = []
+    for span in spans:
+        if span.name in INTERESTING:
+            out.append((span.name,) + tuple(
+                span.attrs[key]
+                for key in ("status", "kind", "worker", "attempt", "reason")
+                if key in span.attrs))
+    return out
+
+
+class TestTimeoutRetrySuccess:
+    """A brief primary crash: lost requests time out, retries fail over
+    to the next replica, and every query still completes."""
+
+    FAULT = FaultSchedule.single_crash(1, 0.0, 0.03, seed=3)
+    BINDINGS = [QueryBinding("one_hop", 1), QueryBinding("one_hop", 5)]
+
+    # All four clients race the crash window: each loses its request to
+    # worker 1 (after a coordinator failover for the two clients whose
+    # start vertex lives there), all four timeout deadlines fire before
+    # any retry lands, and the retries fail over to replica 2.
+    GOLDEN_PREFIX = [
+        ("db.failover", "coordinator"),
+        ("db.request.lost", 1, 0, "crashed"),
+        ("db.failover", "coordinator"),
+        ("db.request.lost", 1, 0, "crashed"),
+        ("db.failover", "coordinator"),
+        ("db.request.lost", 1, 0, "crashed"),
+        ("db.failover", "coordinator"),
+        ("db.request.lost", 1, 0, "crashed"),
+        ("db.timeout", 1, 0),
+        ("db.retry", 1, 0),
+        ("db.timeout", 1, 0),
+        ("db.retry", 1, 0),
+        ("db.timeout", 1, 0),
+        ("db.retry", 1, 0),
+        ("db.timeout", 1, 0),
+        ("db.retry", 1, 0),
+        ("db.failover", "request", 1),
+        ("db.failover", "request", 1),
+        ("db.failover", "request", 1),
+        ("db.failover", "request", 1),
+    ]
+
+    def test_golden_sequence(self, tiny_cluster):
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              fault=self.FAULT)
+        assert event_sequence(spans)[:20] == self.GOLDEN_PREFIX
+
+    def test_accounting(self, tiny_cluster):
+        result, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                                   fault=self.FAULT)
+        metrics = result.metrics
+        assert metrics.value("db.timeouts") == 4
+        assert metrics.value("db.retries") == 4
+        assert metrics.value("db.queries.failed") == 0
+        assert result.completed_queries > 0
+        # Only the crashed primary lost requests.
+        assert result.requests_lost_per_worker.tolist() == [0, 4, 0, 0]
+        # No query span may end in failure — every retry succeeded.
+        statuses = {s.attrs.get("status") for s in spans
+                    if s.name == "db.query"}
+        assert statuses <= {"ok", "inflight"}
+
+    def test_every_retry_follows_its_timeout(self, tiny_cluster):
+        """Per (worker, attempt): lost -> timeout -> retry, in order."""
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              fault=self.FAULT)
+        sequence = [s.name for s in spans
+                    if s.name in ("db.request.lost", "db.timeout",
+                                  "db.retry")]
+        # Retries never precede their timeout; timeouts never precede a
+        # loss.  With 4 lost requests the collapsed pattern is exactly
+        # 4 losses, then alternating timeout/retry pairs.
+        assert sequence == (["db.request.lost"] * 4
+                            + ["db.timeout", "db.retry"] * 4)
+
+
+class TestAbortAtQueryStart:
+    """Both replicas of the start vertex's chain are down: the client
+    cannot open a session and burns one timeout before giving up."""
+
+    FAULT = FaultSchedule(crashes=(CrashInterval(1, 0.0, 0.1),
+                                   CrashInterval(2, 0.0, 0.1)), seed=3)
+    BINDINGS = [QueryBinding("one_hop", 1)]
+
+    def test_golden_sequence(self, tiny_cluster):
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              fault=self.FAULT)
+        sequence = event_sequence(spans)
+        # Two abort rounds per client while the chain is down (the abort
+        # itself consumes one timeout, so each client aborts at t=0.05
+        # and again at ~0.1), then ok once worker 1 recovers.
+        assert sequence[:8] == [("db.query", "failed", "one_hop")] * 8
+        assert all(item == ("db.query", "ok", "one_hop")
+                   for item in sequence[8:])
+
+    def test_abort_costs_one_timeout_deadline(self, tiny_cluster):
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              fault=self.FAULT)
+        aborted = [s for s in spans if s.name == "db.query"
+                   and s.attrs.get("status") == "failed"]
+        assert aborted
+        for span in aborted:
+            assert span.end - span.start == pytest.approx(0.05)
+
+    def test_failed_counter_covers_post_warmup_aborts(self, tiny_cluster):
+        result, _ = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                               fault=self.FAULT)
+        # 8 aborts total, but the first round (t=0.05) predates the
+        # 0.075 warmup boundary; only the second round is counted.
+        assert result.metrics.value("db.queries.failed") == 4
+        assert result.completed_queries > 0
+
+
+class TestBackgroundContention:
+    """Migration batches occupy a worker's FIFO server like any request:
+    queries behind them wait, and only the fair share is free."""
+
+    BACKGROUND = [(0.0, 0, 0.02), (0.01, 0, 0.02)]
+    BINDINGS = [QueryBinding("one_hop", 0), QueryBinding("one_hop", 4)]
+
+    def test_golden_sequence(self, tiny_cluster):
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              background=self.BACKGROUND)
+        # Client 0 enqueues at t=0 before the first batch (same time,
+        # earlier sequence number), so its request precedes the batch;
+        # the second batch lands between the remaining clients' starts.
+        assert [s.name for s in spans[:12]] == [
+            "db.route", "db.request", "db.migration.batch",
+            "db.route", "db.request",
+            "db.route", "db.request",
+            "db.route", "db.request",
+            "db.hop", "db.migration.batch", "db.hop",
+        ]
+
+    def test_queries_queue_behind_batches(self, tiny_cluster):
+        result, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                                   background=self.BACKGROUND)
+        assert result.metrics.value("db.migration.busy_seconds") \
+            == pytest.approx(0.04)
+        requests = [s for s in spans
+                    if s.name == "db.request" and s.attrs["worker"] == 0]
+        queued = [s for s in requests if s.attrs["queue_seconds"] > 0]
+        # The 40ms of batch work shows up as queueing on worker 0: the
+        # very first request (issued before the batch) rides free, the
+        # wave behind the batches does not.
+        assert requests[0].attrs["queue_seconds"] == 0.0
+        assert len(queued) > len(requests) // 2
+
+    def test_batches_do_not_change_event_kinds(self, tiny_cluster):
+        """Contention delays events; it must not create fault events."""
+        _, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                              background=self.BACKGROUND)
+        names = {s.name for s in spans}
+        assert "db.timeout" not in names
+        assert "db.retry" not in names
+        assert "db.request.lost" not in names
