@@ -918,6 +918,18 @@ class ClosedLoopSimulation:
             else:  # _ABORT: the whole replica chain was down at start.
                 fail_query(payload, time_)
 
+        if sampling:
+            # Drain the remaining tick grid: if the heap emptied (or the
+            # last event preceded the horizon by more than a tick), the
+            # in-loop flush above never reached these times.  They must
+            # fire here — before the end-of-run histograms are observed —
+            # so every pre-horizon sample sees only event-time state and
+            # the grid [tick, 2*tick, ...) is complete for every run, not
+            # just runs where a straggler event lands past the horizon.
+            while next_tick < duration:
+                sampler.sample(next_tick)
+                next_tick += tick
+
         if fast:
             # Fold the fast-path accumulators into the worker stats; each
             # target starts at zero, so the fold adds nothing numerically
