@@ -184,14 +184,18 @@ class SimulationResult:
 class _QueryState:
     """Progress of one in-flight query (scalar/faulty path)."""
 
-    __slots__ = ("routed", "client", "phase", "outstanding", "started",
-                 "phase_ready", "coordinator", "failed", "span", "hop_span")
+    __slots__ = ("routed", "client", "phase", "outstanding", "received",
+                 "started", "phase_ready", "coordinator", "failed", "span",
+                 "hop_span")
 
     def __init__(self, routed: RoutedQuery, client: int, started: float):
         self.routed = routed
         self.client = client
         self.phase = 0
         self.outstanding = 0
+        #: Responses that actually arrived this phase — the merge below
+        #: may only charge for these, not the planned fan-out.
+        self.received = 0
         self.started = started
         self.phase_ready = started
         #: Effective coordinator — the routed primary unless it was down
@@ -694,6 +698,7 @@ class ClosedLoopSimulation:
                 issue_phase(state, now)
                 return
             state.outstanding = len(requests)
+            state.received = 0
             if tracing:
                 state.hop_span = tracer.begin(
                     "db.hop", now, parent=state.span, phase=state.phase,
@@ -789,7 +794,10 @@ class ClosedLoopSimulation:
             if now < duration:
                 push(now + think, _START, state.client)
 
-        def request_settled(state: _QueryState, now: float) -> None:
+        def request_settled(state: _QueryState, now: float,
+                            responded: bool) -> None:
+            if responded:
+                state.received += 1
             state.outstanding -= 1
             if state.outstanding != 0:
                 return
@@ -800,9 +808,15 @@ class ClosedLoopSimulation:
                 return
             # Merge the phase's responses on the coordinator: this
             # occupies the coordinating worker's server, so hot
-            # coordinators queue up and wide fan-out costs CPU.
+            # coordinators queue up and wide fan-out costs CPU.  Charge
+            # only the responses that arrived — a request settled by its
+            # timeout deadline shipped nothing to merge.  (Today every
+            # merge-reaching phase has received == fan-out: a timeout
+            # settle either retries, which produces a response later, or
+            # marks the query failed, which skips the merge — so this is
+            # accounting hygiene, not a behaviour change.)
             coordinator = workers[state.coordinator]
-            responses = len(state.routed.phases[state.phase].requests)
+            responses = state.received
             merge = (model.coordinator_overhead_seconds
                      + responses * model.per_response_seconds) \
                 / coordinator.speed
@@ -826,7 +840,7 @@ class ClosedLoopSimulation:
             if request.state.failed:
                 # The query already failed on another request: don't burn
                 # retries on it, just settle this one.
-                request_settled(request.state, now)
+                request_settled(request.state, now, False)
                 return
             if request.attempt < policy.max_retries:
                 c_retries.inc()
@@ -842,7 +856,7 @@ class ClosedLoopSimulation:
                 push(now + delay, _RETRY, request)
                 return
             request.state.failed = True
-            request_settled(request.state, now)
+            request_settled(request.state, now, False)
 
         def on_retry(request: _Request, now: float) -> None:
             # Failover: attempt n goes to replica n of the primary owner.
@@ -908,7 +922,7 @@ class ClosedLoopSimulation:
             elif kind == _START:
                 on_start(payload, time_)
             elif kind == _RESPONSE:
-                request_settled(payload, time_)
+                request_settled(payload, time_, True)
             elif kind == _TIMEOUT:
                 on_timeout(payload, time_)
             elif kind == _RETRY:

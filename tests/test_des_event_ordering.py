@@ -174,6 +174,49 @@ class TestAbortAtQueryStart:
         assert result.completed_queries > 0
 
 
+class TestMergeChargesOnlyReceivedResponses:
+    """The coordinator merge bills per response that actually *arrived*,
+    not per planned request.  The two must agree on every merge-reaching
+    phase — a timeout settle either retries (producing a response later)
+    or fails the query (skipping the merge) — so under heavy loss and
+    retry, ok hops still charge exactly the full fan-out and failed hops
+    charge nothing.  A loop change that lets a response-less settle
+    reach the merge would break the first assertion's premise."""
+
+    # Both replicas of the {1, 2} chain are down long enough to exhaust
+    # the retry budget, then recover just before the horizon: the run
+    # mixes exhausted (failed) hops with retried-but-ok ones.
+    FAULT = FaultSchedule(crashes=(CrashInterval(1, 0.0, 0.28),
+                                   CrashInterval(2, 0.0, 0.28)), seed=3)
+    BINDINGS = [QueryBinding("one_hop", 0)]
+
+    def run(self, tiny_cluster):
+        graph, assignment = tiny_cluster
+        model = ClosedLoopSimulation(graph, assignment, 4,
+                                     clients_per_worker=1).cluster.model
+        result, spans = run_traced(tiny_cluster, bindings=self.BINDINGS,
+                                   fault=self.FAULT)
+        return model, result, [s for s in spans if s.name == "db.hop"]
+
+    def test_ok_hops_charge_exactly_the_arrived_responses(self, tiny_cluster):
+        model, result, hops = self.run(tiny_cluster)
+        assert result.metrics.value("db.retries") > 0  # losses happened
+        ok = [s for s in hops if s.attrs["status"] == "ok"]
+        assert ok
+        for span in ok:
+            expected = (model.coordinator_overhead_seconds
+                        + span.attrs["fanout"] * model.per_response_seconds)
+            assert span.attrs["merge_seconds"] == pytest.approx(
+                expected, abs=1e-12)
+
+    def test_failed_hops_charge_no_merge(self, tiny_cluster):
+        _, result, hops = self.run(tiny_cluster)
+        failed = [s for s in hops if s.attrs["status"] == "failed"]
+        assert failed
+        assert result.metrics.value("db.queries.failed") > 0
+        assert all("merge_seconds" not in s.attrs for s in failed)
+
+
 class TestBackgroundContention:
     """Migration batches occupy a worker's FIFO server like any request:
     queries behind them wait, and only the fair share is free."""
