@@ -1003,8 +1003,15 @@ def simulate_workload(graph: Graph, partition, bindings, *,
                       sample_interval: float | None = None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`ClosedLoopSimulation`."""
     assignment = getattr(partition, "assignment", partition)
-    num_workers = getattr(partition, "num_partitions",
-                          int(np.max(assignment)) + 1)
+    num_workers = getattr(partition, "num_partitions", None)
+    if num_workers is None:
+        assignment = np.asarray(assignment)
+        if assignment.size == 0:
+            raise ConfigurationError(
+                "partition assignment is empty: simulate_workload needs "
+                "one owner per vertex (or a partition object carrying "
+                "num_partitions)")
+        num_workers = int(np.max(assignment)) + 1
     sim = ClosedLoopSimulation(
         graph, assignment, num_workers,
         clients_per_worker=clients_per_worker,

@@ -149,6 +149,23 @@ class TestValidation:
             ClosedLoopSimulation(graph, partition.assignment, 8,
                                  clients_per_worker=0)
 
+    def test_empty_assignment_rejected_with_clear_error(self, sim_setup):
+        """A bare empty array used to surface as numpy's zero-size
+        ``np.max`` ValueError from inside the worker-count inference —
+        the caller's mistake must be named, not numpy's symptom."""
+        graph, _partition, bindings = sim_setup
+        with pytest.raises(ConfigurationError, match="assignment is empty"):
+            simulate_workload(graph, np.array([], dtype=np.int64), bindings,
+                              duration=0.1)
+
+    def test_raw_assignment_still_infers_worker_count(self, sim_setup):
+        graph, partition, bindings = sim_setup
+        result = simulate_workload(graph, np.asarray(partition.assignment),
+                                   bindings, clients_per_worker=2,
+                                   duration=0.2)
+        assert result.num_workers == 8
+        assert result.completed_queries > 0
+
 
 class TestMigrationHooks:
     """The service-loop extensions: background work + double-homed waits."""
